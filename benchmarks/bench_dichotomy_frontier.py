@@ -1,0 +1,50 @@
+"""E9 — the Theorem 3 frontier: bounded versus unbounded domination width.
+
+Two series over growing query parameter k on comparable data graphs:
+
+* the bounded-dw family ``F_k`` evaluated with the Theorem 1 algorithm —
+  membership cost stays essentially flat in k;
+* the unbounded-dw family ``Q_k`` evaluated with the exact natural algorithm —
+  the child extension test degenerates into k-clique search and its cost
+  climbs with k.
+
+The crossover between the two series is the empirical shape of the paper's
+dichotomy (who is polynomial, who is not).
+"""
+
+import pytest
+
+from repro.evaluation import forest_contains, forest_contains_pebble, forest_solutions
+from repro.patterns import WDPatternForest
+from repro.sparql import Mapping
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Variable
+from repro.workloads.clique_instances import random_host_graph
+from repro.workloads.families import clique_query_data_graph, fk_data_graph, fk_forest, hard_clique_tree
+
+GRAPH_SIZE = 14
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def bench_bounded_family_membership(benchmark, k):
+    forest = fk_forest(k)
+    graph = fk_data_graph(GRAPH_SIZE, GRAPH_SIZE * 6, clique_size=k, seed=k)
+    queries = sorted(forest_solutions(forest, graph), key=repr)[:3]
+    if not queries:
+        pytest.skip("no solutions on this data graph")
+    answers = benchmark(lambda: [forest_contains_pebble(forest, graph, mu, 1) for mu in queries])
+    assert answers == [forest_contains(forest, graph, mu) for mu in queries]
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def bench_unbounded_family_membership(benchmark, k):
+    tree = hard_clique_tree(k)
+    forest = WDPatternForest([tree])
+    host = random_host_graph(GRAPH_SIZE, 0.5, seed=k)
+    graph = clique_query_data_graph(host)
+    anchor = EX.term("anchor")
+    targets = sorted(
+        (t.object for t in graph.matches(next(iter(tree.pat(0))))), key=str
+    )
+    queries = [Mapping({Variable("x"): anchor, Variable("y"): target}) for target in targets[:3]]
+    benchmark(lambda: [forest_contains(forest, graph, mu) for mu in queries])

@@ -1,0 +1,39 @@
+"""E1 — Figure 1 / Example 3: core treewidth versus treewidth.
+
+Regenerates the series ``ctw(S, X) = k − 1`` and ``ctw(S', X) = 1`` while
+``tw(S', X) = k − 1``, and times the core/treewidth computations as the
+clique parameter k grows.
+"""
+
+import pytest
+
+from repro.hom import core_of, ctw, tw
+from repro.workloads.families import example3_gtgraphs
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+def bench_ctw_of_s(benchmark, k):
+    s, _ = example3_gtgraphs(k)
+    result = benchmark(lambda: ctw(s))
+    assert result == k - 1
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+def bench_ctw_of_s_prime(benchmark, k):
+    _, s_prime = example3_gtgraphs(k)
+    result = benchmark(lambda: ctw(s_prime))
+    assert result == 1
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def bench_tw_of_s_prime(benchmark, k):
+    _, s_prime = example3_gtgraphs(k)
+    result = benchmark(lambda: tw(s_prime))
+    assert result == k - 1
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def bench_core_computation(benchmark, k):
+    _, s_prime = example3_gtgraphs(k)
+    core = benchmark(lambda: core_of(s_prime))
+    assert len(core.triples()) == 4

@@ -1,0 +1,34 @@
+"""E2 — Figure 2 / Examples 4-5: domination width of the forest F_k.
+
+Regenerates the series ``dw(F_k) = 1`` and ``local width(F_k) = k − 1`` and
+times the width computations (the recognition problem) as k grows.
+"""
+
+import pytest
+
+from repro.width import domination_width, local_width_of_forest
+from repro.workloads.families import fk_forest
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def bench_domination_width_fk(benchmark, k):
+    forest = fk_forest(k)
+    result = benchmark(lambda: domination_width(forest))
+    assert result == 1
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def bench_local_width_fk(benchmark, k):
+    forest = fk_forest(k)
+    result = benchmark(lambda: local_width_of_forest(forest))
+    assert result == k - 1
+
+
+@pytest.mark.parametrize("k", [3, 5])
+def bench_wdpf_translation(benchmark, k):
+    from repro.patterns import wdpf
+    from repro.workloads.families import fk_pattern
+
+    pattern = fk_pattern(k)
+    forest = benchmark(lambda: wdpf(pattern))
+    assert len(forest) == 3

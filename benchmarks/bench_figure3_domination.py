@@ -1,0 +1,41 @@
+"""E3 — Figure 3 / Example 4: the GtG sets and the domination relation.
+
+Regenerates the content of Figure 3: ``GtG(T1[r1]) = {S_Δ1, S_Δ2}`` with core
+treewidths 1 and k − 1, and times the construction of GtG together with the
+1-domination check.
+"""
+
+import pytest
+
+from repro.hom import ctw, maps_to
+from repro.patterns.gtg import gtg, valid_children_assignments
+from repro.workloads.families import fk_forest
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def bench_gtg_of_root_subtree(benchmark, k):
+    forest = fk_forest(k)
+    subtree = forest[0].root_subtree()
+    members = benchmark(lambda: gtg(forest, subtree))
+    assert len(members) == 2
+    assert sorted(ctw(member) for member in members) == [1, max(1, k - 1)]
+
+
+@pytest.mark.parametrize("k", [3, 4, 5])
+def bench_domination_check(benchmark, k):
+    forest = fk_forest(k)
+    members = sorted(gtg(forest, forest[0].root_subtree()), key=ctw)
+
+    def dominated() -> bool:
+        low, high = members[0], members[-1]
+        return maps_to(low, high)
+
+    assert benchmark(dominated)
+
+
+@pytest.mark.parametrize("k", [3, 5])
+def bench_valid_children_assignments(benchmark, k):
+    forest = fk_forest(k)
+    subtree = forest[0].root_subtree()
+    result = benchmark(lambda: list(valid_children_assignments(forest, subtree)))
+    assert len(result) == 2

@@ -1,0 +1,56 @@
+"""E8 — the tractability gap between local tractability and domination width.
+
+The families F_k and T'_k have local width k − 1 (so the locally-tractable
+algorithmics degrade with k) but constant domination width / branch
+treewidth; the OPT-chain control family is bounded in both senses.  The
+benchmark regenerates this table and times evaluation on the gap families
+with the Theorem 1 algorithm, whose cost is insensitive to k's growth in the
+local width.
+"""
+
+import pytest
+
+from repro.evaluation import forest_contains_pebble, forest_solutions
+from repro.patterns import WDPatternForest
+from repro.width import branch_treewidth, domination_width, local_width, local_width_of_forest
+from repro.workloads.families import (
+    chain_tree,
+    fk_data_graph,
+    fk_forest,
+    tprime_tree,
+)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def bench_width_gap_fk(benchmark, k):
+    forest = fk_forest(k)
+    dw, local = benchmark(lambda: (domination_width(forest), local_width_of_forest(forest)))
+    assert dw == 1 and local == k - 1
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def bench_width_gap_tprime(benchmark, k):
+    tree = tprime_tree(k)
+    bw, local = benchmark(lambda: (branch_treewidth(tree), local_width(tree)))
+    assert bw == 1 and local == k - 1
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def bench_control_family_chain(benchmark, depth):
+    tree = chain_tree(depth)
+    forest = WDPatternForest([tree])
+    dw, local = benchmark(lambda: (domination_width(forest), local_width(tree)))
+    assert dw == 1 and local == 1
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def bench_evaluation_insensitive_to_local_width(benchmark, k):
+    """Membership cost of the Theorem 1 algorithm on F_k stays flat as the
+    local width k - 1 grows (the fixed data graph is the control variable)."""
+    forest = fk_forest(k)
+    graph = fk_data_graph(15, 90, clique_size=k, seed=1)
+    queries = sorted(forest_solutions(forest, graph), key=repr)[:3]
+    if not queries:
+        pytest.skip("no solutions on this data graph")
+    answers = benchmark(lambda: [forest_contains_pebble(forest, graph, mu, 1) for mu in queries])
+    assert all(answers)

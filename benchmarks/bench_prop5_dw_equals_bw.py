@@ -1,0 +1,41 @@
+"""E6 — Proposition 5: dw(P) = bw(P) for UNION-free patterns.
+
+Times the two width computations on random UNION-free wdPTs and on the
+paper's UNION-free families, asserting that they coincide (the proposition)
+on every instance.
+"""
+
+import pytest
+
+from repro.patterns import WDPatternForest
+from repro.width import branch_treewidth, domination_width
+from repro.workloads.families import hard_clique_tree, tprime_tree
+from repro.workloads.random_patterns import random_wd_tree
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def bench_dw_vs_bw_random_trees(benchmark, seed):
+    tree = random_wd_tree(num_nodes=4, seed=seed)
+    forest = WDPatternForest([tree])
+
+    def both():
+        return domination_width(forest), branch_treewidth(tree)
+
+    dw, bw = benchmark(both)
+    assert dw == bw
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def bench_dw_vs_bw_tprime(benchmark, k):
+    tree = tprime_tree(k)
+    forest = WDPatternForest([tree])
+    dw, bw = benchmark(lambda: (domination_width(forest), branch_treewidth(tree)))
+    assert dw == bw == 1
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def bench_dw_vs_bw_hard_family(benchmark, k):
+    tree = hard_clique_tree(k)
+    forest = WDPatternForest([tree])
+    dw, bw = benchmark(lambda: (domination_width(forest), branch_treewidth(tree)))
+    assert dw == bw == k - 1

@@ -1,0 +1,42 @@
+"""E5 — Section 3.2: the UNION-free family T'_k.
+
+Regenerates the series ``bw(T'_k) = 1`` versus ``local width = k − 1`` and
+times evaluation with the 2-pebble algorithm (exact here by Proposition 5 +
+Theorem 1) as k and the data graph grow.
+"""
+
+import pytest
+
+from repro.evaluation import forest_contains, forest_contains_pebble
+from repro.patterns import WDPatternForest
+from repro.sparql import Mapping
+from repro.rdf.terms import Variable
+from repro.width import branch_treewidth, local_width
+from repro.workloads.families import tprime_data_graph, tprime_tree
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+def bench_branch_treewidth_tprime(benchmark, k):
+    tree = tprime_tree(k)
+    result = benchmark(lambda: branch_treewidth(tree))
+    assert result == 1
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def bench_local_width_tprime(benchmark, k):
+    tree = tprime_tree(k)
+    result = benchmark(lambda: local_width(tree))
+    assert result == k - 1
+
+
+@pytest.mark.parametrize("graph_size", [10, 25])
+@pytest.mark.parametrize("k", [3, 5])
+def bench_pebble_membership_tprime(benchmark, k, graph_size):
+    tree = tprime_tree(k)
+    forest = WDPatternForest([tree])
+    graph = tprime_data_graph(graph_size, graph_size * 4, seed=k)
+    values = sorted(graph.domain(), key=str)[:4]
+    queries = [Mapping({Variable("y"): value}) for value in values]
+    answers = benchmark(lambda: [forest_contains_pebble(forest, graph, mu, 1) for mu in queries])
+    exact = [forest_contains(forest, graph, mu) for mu in queries]
+    assert answers == exact

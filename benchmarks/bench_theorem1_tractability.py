@@ -1,0 +1,49 @@
+"""E4 — Theorem 1: the pebble-relaxation evaluator on the bounded-dw family F_k.
+
+Times membership checking with the Theorem 1 algorithm (existential 2-pebble
+game, since dw(F_k) = 1) against the exact natural algorithm on the same
+instances, for growing data graphs and growing k.  The two must agree on
+every query (Theorem 1 exactness), and the pebble algorithm's cost must stay
+polynomial in the graph size.
+"""
+
+import pytest
+
+from repro.evaluation import forest_contains, forest_contains_pebble, forest_solutions
+from repro.sparql import Mapping
+from repro.rdf.terms import IRI
+from repro.workloads.families import fk_data_graph, fk_forest
+
+
+def _queries(forest, graph, limit=4):
+    solutions = sorted(forest_solutions(forest, graph), key=repr)[:limit]
+    perturbed = []
+    for mu in solutions[: limit // 2]:
+        bindings = mu.as_dict()
+        if bindings:
+            first = sorted(bindings, key=lambda v: v.name)[0]
+            bindings[first] = IRI("http://example.org/__nowhere__")
+            perturbed.append(Mapping(bindings))
+    return solutions + perturbed
+
+
+def _setting(k, graph_size):
+    forest = fk_forest(k)
+    graph = fk_data_graph(graph_size, graph_size * 6, clique_size=k, seed=graph_size)
+    return forest, graph, _queries(forest, graph)
+
+
+@pytest.mark.parametrize("graph_size", [10, 20, 40])
+@pytest.mark.parametrize("k", [2, 4])
+def bench_pebble_membership_fk(benchmark, k, graph_size):
+    forest, graph, queries = _setting(k, graph_size)
+    answers = benchmark(lambda: [forest_contains_pebble(forest, graph, mu, 1) for mu in queries])
+    exact = [forest_contains(forest, graph, mu) for mu in queries]
+    assert answers == exact  # Theorem 1: exact on bounded domination width
+
+
+@pytest.mark.parametrize("graph_size", [10, 20, 40])
+@pytest.mark.parametrize("k", [2, 4])
+def bench_natural_membership_fk(benchmark, k, graph_size):
+    forest, graph, queries = _setting(k, graph_size)
+    benchmark(lambda: [forest_contains(forest, graph, mu) for mu in queries])

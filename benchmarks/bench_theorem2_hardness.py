@@ -1,0 +1,41 @@
+"""E7 — Theorem 2: solving CLIQUE through the co-wdEVAL reduction.
+
+Times the full pipeline (Lemma 3 witness -> Lemma 2 construction -> freezing
+-> natural co-wdEVAL evaluation) for growing clique parameter k, asserting
+that the answers match brute force.  The per-k cost grows steeply with k —
+the fpt behaviour the W[1]-hardness result predicts — while the brute-force
+baseline on the same tiny hosts stays negligible.
+"""
+
+import pytest
+
+from repro.reductions import solve_clique_via_wdeval
+from repro.workloads.clique_instances import (
+    has_clique_bruteforce,
+    plant_clique,
+    random_host_graph,
+)
+
+
+def _host(k, planted, seed=5):
+    host = random_host_graph(6, 0.3, seed=seed)
+    if planted:
+        host, _ = plant_clique(host, k, seed=seed)
+    return host
+
+
+@pytest.mark.parametrize("planted", [False, True])
+@pytest.mark.parametrize("k", [2, 3])
+def bench_clique_via_reduction(benchmark, k, planted):
+    host = _host(k, planted)
+    expected = has_clique_bruteforce(host, k)
+    answer = benchmark.pedantic(
+        lambda: solve_clique_via_wdeval(host, k), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert answer == expected
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def bench_clique_bruteforce_baseline(benchmark, k):
+    host = _host(k, planted=True)
+    assert benchmark(lambda: has_clique_bruteforce(host, k))

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures (1-3) as concrete objects and print them.
+
+* Figure 1 / Example 3: the generalised t-graphs (S, X) and (S', X), their
+  cores and core treewidths;
+* Figure 2 / Example 4: the pattern forest F_k;
+* Figure 3 / Example 4-5: the members of GtG(T1[r1]) and the domination
+  relation between them.
+
+Run with::
+
+    python examples/paper_figures.py [k]
+"""
+
+import sys
+
+from repro.hom import core_of, ctw, maps_to, tw
+from repro.patterns.gtg import gtg, support, valid_children_assignments
+from repro.width import domination_width, local_width_of_forest
+from repro.workloads.families import example3_gtgraphs, fk_forest
+
+
+def show_gtgraph(name, gtgraph) -> None:
+    triples = ", ".join(str(t) for t in sorted(gtgraph.triples()))
+    distinguished = ", ".join(str(v) for v in sorted(gtgraph.distinguished))
+    print(f"  {name} = ({{{triples}}}, {{{distinguished}}})")
+
+
+def figure1(k: int) -> None:
+    print(f"=== Figure 1 / Example 3 (k = {k}) ===")
+    s, s_prime = example3_gtgraphs(k)
+    show_gtgraph("(S, X)", s)
+    print(f"    ctw(S, X)  = {ctw(s)}   (paper: k - 1 = {k - 1})")
+    show_gtgraph("(S', X)", s_prime)
+    print(f"    tw(S', X)  = {tw(s_prime)}   (paper: k - 1 = {k - 1})")
+    core = core_of(s_prime)
+    show_gtgraph("core(S', X)", core)
+    print(f"    ctw(S', X) = {ctw(s_prime)}   (paper: 1)\n")
+
+
+def figure2(k: int) -> None:
+    print(f"=== Figure 2 / Example 4: the wdPF F_{k} ===")
+    forest = fk_forest(k)
+    print(forest.pretty())
+    print(f"\n  dw(F_{k}) = {domination_width(forest)}   (paper: 1)")
+    print(f"  local width = {local_width_of_forest(forest)}   (paper: k - 1 = {k - 1})\n")
+
+
+def figure3(k: int) -> None:
+    print(f"=== Figure 3 / Examples 4-5: GtG(T1[r1]) for F_{k} ===")
+    forest = fk_forest(k)
+    subtree = forest[0].root_subtree()
+    supp = support(forest, subtree)
+    print(f"  supp(T1[r1]) = {sorted(i + 1 for i in supp)}   (paper: {{1, 2}})")
+    assignments = list(valid_children_assignments(forest, subtree))
+    print(f"  |VCA(T1[r1])| = {len(assignments)}   (paper: 2)")
+    members = sorted(gtg(forest, subtree), key=ctw)
+    for index, member in enumerate(members, start=1):
+        show_gtgraph(f"S_Δ{index}", member)
+        print(f"    ctw = {ctw(member)}")
+    if len(members) == 2:
+        print(f"  (S_Δ1, X) → (S_Δ2, X): {maps_to(members[0], members[1])}   (paper: yes — so GtG is 1-dominated)")
+
+
+def main(k: int = 3) -> None:
+    figure1(k)
+    figure2(k)
+    figure3(k)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

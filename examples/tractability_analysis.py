@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Classify query families along the paper's tractability frontier.
+
+For each family of the paper (F_k of Figure 2, T'_k of Section 3.2, the
+unbounded family Q_k and an OPT-chain control), the script reports the three
+width measures and the verdict Theorem 3 gives: classes of bounded domination
+width are exactly the polynomial-time evaluable ones.
+
+Run with::
+
+    python examples/tractability_analysis.py
+"""
+
+from repro.patterns import WDPatternForest
+from repro.width import branch_treewidth, domination_width, local_width, local_width_of_forest
+from repro.workloads.families import chain_tree, fk_forest, hard_clique_tree, tprime_tree
+
+
+def analyse_forest(name: str, forest, ks) -> None:
+    print(f"family {name}")
+    print(f"  {'k':>3} | {'dw':>4} | {'local width':>11} | verdict")
+    print(f"  {'-' * 3}-+-{'-' * 4}-+-{'-' * 11}-+-{'-' * 30}")
+    widths = []
+    for k in ks:
+        member = forest(k)
+        if isinstance(member, WDPatternForest):
+            dw = domination_width(member)
+            local = local_width_of_forest(member)
+        else:
+            tree = member
+            member = WDPatternForest([tree])
+            dw = branch_treewidth(tree)
+            local = local_width(tree)
+        widths.append(dw)
+        verdict = "tractable (bounded dw)" if dw <= widths[0] else "width grows with k"
+        print(f"  {k:>3} | {dw:>4} | {local:>11} | {verdict}")
+    bounded = max(widths) == min(widths)
+    print(
+        f"  => class has {'BOUNDED' if bounded else 'UNBOUNDED'} domination width: "
+        f"{'PTIME evaluation (Theorem 1)' if bounded else 'coNP-hard tail, W[1]-hard parameterised (Theorem 2)'}\n"
+    )
+
+
+def main() -> None:
+    print("The tractability frontier of well-designed SPARQL (Romero, PODS 2018)\n")
+    analyse_forest("F_k (Figure 2: UNION of three pattern trees)", fk_forest, ks=(2, 3, 4))
+    analyse_forest("T'_k (Section 3.2: self-loop root + K_k child)", tprime_tree, ks=(2, 3, 4))
+    analyse_forest("OPT chain (control, locally tractable)", chain_tree, ks=(2, 3, 4))
+    analyse_forest("Q_k (root edge + K_k child: unbounded width)", hard_clique_tree, ks=(2, 3, 4))
+    print(
+        "Note how F_k and T'_k are NOT locally tractable (local width = k-1) yet\n"
+        "have constant domination width: they sit strictly inside the new\n"
+        "tractable region identified by the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

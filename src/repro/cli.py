@@ -1,0 +1,163 @@
+"""Command line interface.
+
+A small CLI so that the library can be used without writing Python::
+
+    python -m repro evaluate --graph data.nt --query "((?x knows ?y) OPT (?y email ?e))"
+    python -m repro check    --graph data.nt --query QUERY --binding x=alice --binding y=bob
+    python -m repro classify --query QUERY
+    python -m repro validate --query QUERY
+
+Sub-commands
+------------
+``evaluate``
+    Print every solution mapping of the query over the graph.
+``check``
+    Decide ``µ ∈ ⟦P⟧G`` for the mapping given by ``--binding var=iri`` pairs
+    (the paper's wdEVAL problem), using the requested engine.
+``classify``
+    Print the width profile (domination width, branch treewidth, local width)
+    and the Theorem 3 verdict.
+``validate``
+    Check well-designedness and report the violation if any.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .evaluation import Engine
+from .rdf.graph import RDFGraph
+from .rdf.io import load_graph
+from .rdf.terms import IRI, Variable
+from .sparql.mappings import Mapping
+from .sparql.parser import parse_pattern, to_text
+from .sparql.well_designed import find_violation
+from .width.classify import classify_pattern
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Well-designed SPARQL evaluation and tractability analysis "
+        "(reproduction of Romero, PODS 2018).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_query_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--query", required=True, help="pattern in the textual syntax")
+
+    evaluate = subparsers.add_parser("evaluate", help="enumerate all solutions")
+    evaluate.add_argument("--graph", required=True, help="N-Triples style data file")
+    add_query_argument(evaluate)
+    evaluate.add_argument(
+        "--method", choices=["naive", "natural"], default="natural", help="enumeration engine"
+    )
+
+    check = subparsers.add_parser("check", help="decide membership of a mapping (wdEVAL)")
+    check.add_argument("--graph", required=True, help="N-Triples style data file")
+    add_query_argument(check)
+    check.add_argument(
+        "--binding",
+        action="append",
+        default=[],
+        metavar="VAR=IRI",
+        help="one binding of the candidate mapping (repeatable)",
+    )
+    check.add_argument(
+        "--method", choices=["auto", "naive", "natural", "pebble"], default="auto"
+    )
+    check.add_argument("--width", type=int, default=None, help="width bound for the pebble engine")
+
+    classify = subparsers.add_parser("classify", help="width profile and tractability verdict")
+    add_query_argument(classify)
+
+    validate = subparsers.add_parser("validate", help="check well-designedness")
+    add_query_argument(validate)
+
+    return parser
+
+
+def _parse_bindings(raw_bindings: List[str]) -> Mapping:
+    bindings: Dict[Variable, IRI] = {}
+    for raw in raw_bindings:
+        if "=" not in raw:
+            raise ReproError(f"invalid --binding {raw!r}: expected VAR=IRI")
+        name, value = raw.split("=", 1)
+        bindings[Variable(name)] = IRI(value)
+    return Mapping(bindings)
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    engine = Engine(parse_pattern(args.query))
+    solutions = sorted(engine.solutions(graph, method=args.method), key=repr)
+    print(f"# {len(solutions)} solution(s)")
+    for mapping in solutions:
+        rendered = ", ".join(
+            f"{var}={value}" for var, value in sorted(mapping.items(), key=lambda kv: kv[0].name)
+        )
+        print(rendered if rendered else "<empty mapping>")
+    return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    engine = Engine(parse_pattern(args.query), width_bound=args.width)
+    mu = _parse_bindings(args.binding)
+    answer = engine.contains(graph, mu, method=args.method, width=args.width)
+    print("IN" if answer else "NOT-IN")
+    return 0 if answer else 1
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    pattern = parse_pattern(args.query)
+    report = classify_pattern(pattern)
+    print(f"query: {to_text(pattern)}")
+    print(f"domination width : {report.domination_width}")
+    bw = report.branch_treewidth if report.branch_treewidth is not None else "n/a (UNION pattern)"
+    print(f"branch treewidth : {bw}")
+    print(f"local width      : {report.local_width}")
+    print(
+        "verdict          : evaluable in PTIME with the existential "
+        f"{report.recommended_pebble_width + 1}-pebble algorithm (Theorem 1)"
+    )
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    pattern = parse_pattern(args.query)
+    violation = find_violation(pattern)
+    if violation is None:
+        print("well-designed")
+        return 0
+    print(f"NOT well-designed: {violation.describe()}")
+    return 1
+
+
+_COMMANDS = {
+    "evaluate": _command_evaluate,
+    "check": _command_check,
+    "classify": _command_classify,
+    "validate": _command_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

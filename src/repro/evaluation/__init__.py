@@ -1,0 +1,31 @@
+"""Evaluation engines: naive semantics, the natural wdPF algorithm and the
+Theorem 1 pebble-relaxation algorithm."""
+
+from .naive import evaluate_pattern, pattern_contains
+from .wdeval import (
+    find_mu_subtree,
+    tree_contains,
+    forest_contains,
+    tree_solutions,
+    forest_solutions,
+    EvaluationStatistics,
+)
+from .pebble_eval import tree_contains_pebble, forest_contains_pebble
+from .extended import evaluate_extended, extended_pattern_contains
+from .engine import Engine
+
+__all__ = [
+    "evaluate_pattern",
+    "pattern_contains",
+    "find_mu_subtree",
+    "tree_contains",
+    "forest_contains",
+    "tree_solutions",
+    "forest_solutions",
+    "EvaluationStatistics",
+    "tree_contains_pebble",
+    "forest_contains_pebble",
+    "evaluate_extended",
+    "extended_pattern_contains",
+    "Engine",
+]

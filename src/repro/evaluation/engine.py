@@ -1,0 +1,148 @@
+"""A unified evaluation facade.
+
+:class:`Engine` wraps a well-designed graph pattern (or a pre-built forest)
+and exposes the three evaluation strategies side by side:
+
+* ``method="naive"`` — the compositional Pérez et al. semantics (reference);
+* ``method="natural"`` — the wdPF algorithm with exact homomorphism tests
+  (the coNP baseline);
+* ``method="pebble"`` — the Theorem 1 algorithm (polynomial; exact when the
+  supplied width bound dominates the pattern's domination width);
+* ``method="auto"`` — pebble with a certified width bound when one was given
+  or can be computed cheaply, otherwise the natural algorithm.
+
+The engine also enumerates complete answer sets and exposes the pattern's
+width measures, which is what the examples and the experiment harness use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from .naive import evaluate_pattern, pattern_contains
+from .pebble_eval import forest_contains_pebble
+from .wdeval import EvaluationStatistics, forest_contains, forest_solutions
+from ..patterns.build import pattern_of_forest, wdpf
+from ..patterns.forest import WDPatternForest
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import GraphPattern
+from ..sparql.mappings import Mapping
+from ..exceptions import EvaluationError
+
+__all__ = ["Engine"]
+
+_METHODS = ("auto", "naive", "natural", "pebble")
+
+
+class Engine:
+    """Evaluation engine for a single well-designed graph pattern.
+
+    Parameters
+    ----------
+    pattern:
+        A well-designed :class:`~repro.sparql.algebra.GraphPattern`, or
+        ``None`` when *forest* is given directly.
+    forest:
+        An already-built :class:`~repro.patterns.forest.WDPatternForest`
+        (for example one of the paper's tree-defined families).
+    width_bound:
+        An upper bound on the domination width of the pattern.  When given,
+        ``method="pebble"``/``"auto"`` runs the existential
+        ``(width_bound+1)``-pebble game and is exact.
+    """
+
+    def __init__(
+        self,
+        pattern: Optional[GraphPattern] = None,
+        forest: Optional[WDPatternForest] = None,
+        width_bound: Optional[int] = None,
+    ) -> None:
+        if pattern is None and forest is None:
+            raise EvaluationError("Engine requires a pattern or a forest")
+        if forest is None:
+            forest = wdpf(pattern)
+        if pattern is None:
+            pattern = pattern_of_forest(forest)
+        if width_bound is not None and width_bound < 1:
+            raise EvaluationError("width_bound must be at least 1")
+        self._pattern = pattern
+        self._forest = forest
+        self._width_bound = width_bound
+        self._domination_width: Optional[int] = None
+
+    # --- introspection -----------------------------------------------------------
+    @property
+    def pattern(self) -> GraphPattern:
+        """The graph pattern being evaluated."""
+        return self._pattern
+
+    @property
+    def forest(self) -> WDPatternForest:
+        """The wdPF representation used by the structural algorithms."""
+        return self._forest
+
+    @property
+    def width_bound(self) -> Optional[int]:
+        """The width bound supplied at construction (if any)."""
+        return self._width_bound
+
+    def domination_width(self) -> int:
+        """The (computed and cached) domination width of the pattern.
+
+        This is expensive; it is computed lazily and only when requested or
+        when ``method="auto"`` needs a certified bound and none was supplied.
+        """
+        if self._domination_width is None:
+            from ..width.domination import domination_width
+
+            self._domination_width = domination_width(self._forest)
+        return self._domination_width
+
+    # --- membership --------------------------------------------------------------------
+    def contains(
+        self,
+        graph: RDFGraph,
+        mu: Mapping,
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> bool:
+        """Decide ``µ ∈ ⟦P⟧G``.
+
+        ``width`` overrides the engine's width bound for the pebble method.
+        """
+        if method not in _METHODS:
+            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
+        if method == "naive":
+            return pattern_contains(self._pattern, graph, mu)
+        if method == "natural":
+            return forest_contains(self._forest, graph, mu, statistics)
+        if method == "pebble":
+            bound = width if width is not None else self._width_bound
+            if bound is None:
+                bound = self.domination_width()
+            return forest_contains_pebble(self._forest, graph, mu, bound, statistics)
+        # auto: prefer the pebble algorithm when a certified bound is cheap to
+        # obtain, otherwise fall back to the exact natural algorithm.
+        bound = width if width is not None else self._width_bound
+        if bound is not None or self._domination_width is not None:
+            bound = bound if bound is not None else self._domination_width
+            return forest_contains_pebble(self._forest, graph, mu, bound, statistics)
+        return forest_contains(self._forest, graph, mu, statistics)
+
+    def contains_all_methods(self, graph: RDFGraph, mu: Mapping) -> Dict[str, bool]:
+        """Run every method on the same instance (used in tests/diagnostics)."""
+        return {
+            "naive": self.contains(graph, mu, method="naive"),
+            "natural": self.contains(graph, mu, method="natural"),
+            "pebble": self.contains(graph, mu, method="pebble"),
+        }
+
+    # --- enumeration -------------------------------------------------------------------------
+    def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
+        """Enumerate the full answer set ``⟦P⟧G``."""
+        if method == "naive":
+            return evaluate_pattern(self._pattern, graph)
+        if method == "natural":
+            return forest_solutions(self._forest, graph)
+        raise EvaluationError("solutions() supports the 'naive' and 'natural' methods")

@@ -1,0 +1,49 @@
+"""Naive compositional evaluation of AND/OPT/UNION graph patterns.
+
+This evaluator implements the Pérez et al. semantics literally (Section 2 of
+the paper): ``⟦·⟧G`` is computed bottom-up with joins, left-outer joins and
+unions of mapping sets.  It is exponential in the worst case but it is the
+*reference semantics* every other engine in the library is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import And, GraphPattern, Opt, TriplePatternNode, Union
+from ..sparql.mappings import Mapping, join_sets, left_outer_join_sets, union_sets
+from ..exceptions import EvaluationError
+
+__all__ = ["evaluate_pattern", "pattern_contains"]
+
+
+def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph) -> Set[Mapping]:
+    """``⟦P⟧G`` — the full set of solution mappings of a graph pattern.
+
+    >>> from ..sparql import parse_pattern
+    >>> from ..rdf import RDFGraph, Triple
+    >>> g = RDFGraph([Triple.of("a", "p", "b")])
+    >>> len(evaluate_pattern(parse_pattern("(?x p ?y)"), g))
+    1
+    """
+    if isinstance(pattern, TriplePatternNode):
+        return {Mapping(binding) for binding in graph.solutions(pattern.triple_pattern)}
+    if isinstance(pattern, And):
+        return join_sets(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
+    if isinstance(pattern, Opt):
+        return left_outer_join_sets(
+            evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph)
+        )
+    if isinstance(pattern, Union):
+        return union_sets(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
+    raise EvaluationError(f"unsupported pattern node {type(pattern).__name__}")
+
+
+def pattern_contains(pattern: GraphPattern, graph: RDFGraph, mu: Mapping) -> bool:
+    """``µ ∈ ⟦P⟧G`` decided by materialising the whole answer set.
+
+    Only suitable for small instances; it is the ground truth used by the
+    tests to validate the wdPF-based engines.
+    """
+    return mu in evaluate_pattern(pattern, graph)

@@ -1,0 +1,84 @@
+"""The polynomial-time evaluation algorithm of Theorem 1.
+
+The algorithm is the natural wdPF evaluation algorithm with the NP-hard
+extension test replaced by the existential ``(k+1)``-pebble game: for every
+tree ``Ti`` with a witness subtree ``T^µ_i`` it checks, for every child
+``n``, whether
+
+    ``(pat(T^µ_i) ∪ pat(n), vars(T^µ_i)) →µ_{k+1} G``
+
+and accepts as soon as some tree has *no* such child.  The algorithm is
+
+* always **sound**: if it accepts then ``µ ∈ ⟦F⟧G`` (because ``→µ`` implies
+  ``→µ_{k+1}``);
+* **complete** whenever ``dw(F) ≤ k`` (the main content of Theorem 1).
+
+On classes of bounded domination width it therefore decides ``wdEVAL`` in
+polynomial time; on other inputs its answer may be a false negative, which
+:class:`~repro.evaluation.engine.Engine` reports as such.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .wdeval import EvaluationStatistics, find_mu_subtree
+from ..hom.tgraph import GeneralizedTGraph
+from ..patterns.forest import WDPatternForest
+from ..patterns.tree import WDPatternTree
+from ..pebble.game import pebble_game_winner
+from ..rdf.graph import RDFGraph
+from ..sparql.mappings import Mapping
+
+__all__ = ["tree_contains_pebble", "forest_contains_pebble"]
+
+
+def tree_contains_pebble(
+    tree: WDPatternTree,
+    graph: RDFGraph,
+    mu: Mapping,
+    k: int,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> bool:
+    """The per-tree acceptance test of the Theorem 1 algorithm.
+
+    Returns ``True`` when the witness subtree exists and no child passes the
+    ``(k+1)``-pebble extension test.  Sound for every input; complete when
+    ``dw ≤ k``.
+    """
+    subtree = find_mu_subtree(tree, graph, mu)
+    if subtree is None:
+        return False
+    if statistics is not None:
+        statistics.subtree_found += 1
+    base = subtree.pat()
+    distinguished = subtree.variables()
+    for child in subtree.children():
+        if statistics is not None:
+            statistics.child_checks += 1
+        extended = GeneralizedTGraph(base.union(tree.pat(child)), distinguished)
+        if pebble_game_winner(extended, graph, mu, k + 1):
+            return False
+    return True
+
+
+def forest_contains_pebble(
+    forest: WDPatternForest,
+    graph: RDFGraph,
+    mu: Mapping,
+    k: int,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> bool:
+    """The Theorem 1 algorithm on a forest: accept iff some tree accepts.
+
+    ``k`` should be (an upper bound on) the domination width of the forest;
+    the algorithm runs the existential ``(k+1)``-pebble game.
+    """
+    if k < 1:
+        raise ValueError("the width parameter k must be at least 1")
+    for tree in forest:
+        if statistics is not None:
+            statistics.trees_visited += 1
+        if tree_contains_pebble(tree, graph, mu, k, statistics):
+            return True
+    return False

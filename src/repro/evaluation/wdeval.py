@@ -1,0 +1,156 @@
+"""The natural evaluation algorithm for well-designed pattern forests.
+
+This is the classical algorithm of Letelier et al. / Pichler–Skritek that the
+paper takes as the starting point (beginning of Section 3.1): to decide
+``µ ∈ ⟦F⟧G`` for ``F = {T1, ..., Tm}``,
+
+1. for each tree ``Ti`` find the unique subtree ``T^µ_i`` whose variables are
+   exactly ``dom(µ)`` and whose pattern ``µ`` maps homomorphically into
+   ``G`` (if none exists, ``µ ∉ ⟦Ti⟧G``);
+2. ``µ ∈ ⟦Ti⟧G`` iff additionally *no* child ``n`` of ``T^µ_i`` admits a
+   homomorphism from ``pat(n)`` to ``G`` compatible with ``µ``
+   (equivalently ``(pat(T^µ_i) ∪ pat(n), vars(T^µ_i)) →µ G`` fails).
+
+The child test is a full homomorphism test, so this engine runs in
+exponential time in the query size in the worst case — it is the coNP
+baseline that the Theorem 1 algorithm relaxes.
+
+The module also provides solution *enumeration* through Lemma 1, used by the
+examples and as a second reference semantics in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..hom.homomorphism import all_homomorphisms, extends_into, find_homomorphism
+from ..hom.tgraph import TGraph
+from ..patterns.forest import WDPatternForest
+from ..patterns.tree import Subtree, WDPatternTree
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Variable
+from ..sparql.mappings import Mapping
+from ..exceptions import EvaluationError
+
+__all__ = [
+    "find_mu_subtree",
+    "tree_contains",
+    "forest_contains",
+    "tree_solutions",
+    "forest_solutions",
+    "EvaluationStatistics",
+]
+
+
+class EvaluationStatistics:
+    """Counters describing one membership check (used by the benchmarks)."""
+
+    __slots__ = ("trees_visited", "subtree_found", "child_checks")
+
+    def __init__(self) -> None:
+        self.trees_visited = 0
+        self.subtree_found = 0
+        self.child_checks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationStatistics(trees={self.trees_visited}, "
+            f"subtrees={self.subtree_found}, child_checks={self.child_checks})"
+        )
+
+
+def find_mu_subtree(tree: WDPatternTree, graph: RDFGraph, mu: Mapping) -> Optional[Subtree]:
+    """The subtree ``T^µ`` of *tree*: variables exactly ``dom(µ)`` and ``µ`` a
+    homomorphism from its pattern into the graph; ``None`` if there is none.
+
+    Computed greedily from the root: a node can join as soon as its variables
+    are covered by ``dom(µ)`` and ``µ`` satisfies its label; by NR normal form
+    and variable connectivity the maximal such node set is the unique witness
+    whenever a witness exists.
+    """
+    domain = mu.domain()
+
+    def node_satisfied(node: int) -> bool:
+        if not tree.vars(node) <= domain:
+            return False
+        for t in tree.pat(node):
+            if mu.apply(t) not in graph:
+                return False
+        return True
+
+    if not node_satisfied(tree.root):
+        return None
+    selected = {tree.root}
+    frontier = list(tree.children_of(tree.root))
+    while frontier:
+        node = frontier.pop()
+        if node_satisfied(node):
+            selected.add(node)
+            frontier.extend(tree.children_of(node))
+    subtree = tree.subtree(selected)
+    if subtree.variables() != domain:
+        return None
+    return subtree
+
+
+def tree_contains(
+    tree: WDPatternTree,
+    graph: RDFGraph,
+    mu: Mapping,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> bool:
+    """``µ ∈ ⟦T⟧G`` via Lemma 1 (the natural algorithm, exact but with
+    NP-hard child tests)."""
+    subtree = find_mu_subtree(tree, graph, mu)
+    if subtree is None:
+        return False
+    if statistics is not None:
+        statistics.subtree_found += 1
+    for child in subtree.children():
+        if statistics is not None:
+            statistics.child_checks += 1
+        if extends_into(tree.pat(child), graph, mu) is not None:
+            return False
+    return True
+
+
+def forest_contains(
+    forest: WDPatternForest,
+    graph: RDFGraph,
+    mu: Mapping,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> bool:
+    """``µ ∈ ⟦F⟧G = ⟦T1⟧G ∪ ... ∪ ⟦Tm⟧G`` via the natural algorithm."""
+    for tree in forest:
+        if statistics is not None:
+            statistics.trees_visited += 1
+        if tree_contains(tree, graph, mu, statistics):
+            return True
+    return False
+
+
+def tree_solutions(tree: WDPatternTree, graph: RDFGraph) -> Set[Mapping]:
+    """Enumerate ``⟦T⟧G`` through Lemma 1.
+
+    For every subtree ``T'`` and every homomorphism ``µ`` from ``pat(T')``
+    into the graph, ``µ`` is a solution iff no child of ``T'`` admits a
+    compatible extension.
+    """
+    solutions: Set[Mapping] = set()
+    for subtree in tree.subtrees():
+        children = subtree.children()
+        for hom in all_homomorphisms(subtree.pat(), graph):
+            mu = Mapping(hom)
+            if mu in solutions:
+                continue
+            if all(extends_into(tree.pat(child), graph, mu) is None for child in children):
+                solutions.add(mu)
+    return solutions
+
+
+def forest_solutions(forest: WDPatternForest, graph: RDFGraph) -> Set[Mapping]:
+    """Enumerate ``⟦F⟧G`` (union over the member trees)."""
+    result: Set[Mapping] = set()
+    for tree in forest:
+        result |= tree_solutions(tree, graph)
+    return result

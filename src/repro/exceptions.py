@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  The more specific subclasses mirror the main
+subsystems: RDF data handling, SPARQL parsing / validation, pattern-tree
+construction and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class RDFError(ReproError):
+    """Raised for malformed RDF data (non-ground triples in a graph, ...)."""
+
+
+class ParseError(ReproError):
+    """Raised when the SPARQL-like textual syntax cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class NotWellDesignedError(ReproError):
+    """Raised when an operation requires a well-designed pattern but the
+    supplied pattern violates the well-designedness condition."""
+
+    def __init__(self, message: str, violation: object | None = None) -> None:
+        self.violation = violation
+        super().__init__(message)
+
+
+class PatternTreeError(ReproError):
+    """Raised for structurally invalid well-designed pattern trees."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation engine is used incorrectly (for instance a
+    mapping whose domain does not match the required distinguished set)."""
+
+
+class WidthComputationError(ReproError):
+    """Raised when a width measure cannot be computed for the given input."""
+
+
+class ReductionError(ReproError):
+    """Raised when the hardness-reduction machinery receives inputs it cannot
+    handle (for instance no grid minor map can be found)."""

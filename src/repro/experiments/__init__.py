@@ -1,0 +1,38 @@
+"""Experiment harness regenerating the paper's figures and claims (E1-E9)."""
+
+from .harness import (
+    ExperimentResult,
+    time_callable,
+    EXPERIMENT_REGISTRY,
+    register_experiment,
+    run_experiment,
+)
+from . import experiments as _experiments  # noqa: F401  (populates the registry)
+from .experiments import (
+    experiment_e1_figure1_cores,
+    experiment_e2_figure2_widths,
+    experiment_e3_figure3_domination,
+    experiment_e4_theorem1_scaling,
+    experiment_e5_unionfree_family,
+    experiment_e6_prop5_dw_equals_bw,
+    experiment_e7_hardness_reduction,
+    experiment_e8_local_vs_domination,
+    experiment_e9_dichotomy_frontier,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "time_callable",
+    "EXPERIMENT_REGISTRY",
+    "register_experiment",
+    "run_experiment",
+    "experiment_e1_figure1_cores",
+    "experiment_e2_figure2_widths",
+    "experiment_e3_figure3_domination",
+    "experiment_e4_theorem1_scaling",
+    "experiment_e5_unionfree_family",
+    "experiment_e6_prop5_dw_equals_bw",
+    "experiment_e7_hardness_reduction",
+    "experiment_e8_local_vs_domination",
+    "experiment_e9_dichotomy_frontier",
+]

@@ -1,0 +1,27 @@
+"""Command line entry point: run the experiments and print their tables.
+
+Usage::
+
+    python -m repro.experiments            # run every experiment
+    python -m repro.experiments E1 E2      # run a selection
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .harness import EXPERIMENT_REGISTRY, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    selected = argv or sorted(EXPERIMENT_REGISTRY)
+    for experiment_id in selected:
+        result = run_experiment(experiment_id)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

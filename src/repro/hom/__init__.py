@@ -1,0 +1,53 @@
+"""Homomorphism engine: t-graphs, Gaifman graphs, homomorphism search, cores,
+treewidth and the derived width measures ``tw`` / ``ctw``."""
+
+from .tgraph import TGraph, GeneralizedTGraph, freeze_tgraph, fresh_variable_renaming
+from .gaifman import gaifman_graph, gaifman_graph_of_tgraph
+from .homomorphism import (
+    find_homomorphism,
+    all_homomorphisms,
+    has_homomorphism,
+    homomorphism_count,
+    maps_to,
+    maps_into,
+    extends_into,
+)
+from .core import core_of, is_core, is_core_of, hom_equivalent
+from .treewidth import (
+    treewidth,
+    treewidth_exact,
+    treewidth_upper_bound,
+    treewidth_lower_bound,
+    tree_decomposition,
+    tw,
+    ctw,
+    DEFAULT_EXACT_THRESHOLD,
+)
+
+__all__ = [
+    "TGraph",
+    "GeneralizedTGraph",
+    "freeze_tgraph",
+    "fresh_variable_renaming",
+    "gaifman_graph",
+    "gaifman_graph_of_tgraph",
+    "find_homomorphism",
+    "all_homomorphisms",
+    "has_homomorphism",
+    "homomorphism_count",
+    "maps_to",
+    "maps_into",
+    "extends_into",
+    "core_of",
+    "is_core",
+    "is_core_of",
+    "hom_equivalent",
+    "treewidth",
+    "treewidth_exact",
+    "treewidth_upper_bound",
+    "treewidth_lower_bound",
+    "tree_decomposition",
+    "tw",
+    "ctw",
+    "DEFAULT_EXACT_THRESHOLD",
+]

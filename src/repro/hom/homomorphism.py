@@ -1,0 +1,322 @@
+"""Homomorphisms between t-graphs and into RDF graphs.
+
+This module implements the single NP oracle of the library: a backtracking
+search for homomorphisms ``h`` from a t-graph ``S`` into a target t-graph or
+RDF graph, subject to *fixed* bindings:
+
+* constants (IRIs / literals) are always mapped to themselves;
+* the distinguished variables ``X`` of a generalised t-graph are fixed to
+  themselves (``(S, X) → (S', X)``) or to ``µ`` (``(S, X) →µ G``).
+
+The search maintains per-variable candidate domains and prunes them by
+forward checking along the triples that mention the variable just assigned
+(most-constrained-variable ordering picks the next branching variable), which
+keeps the common cases — conjunctive matching, core computation, the natural
+wdPF evaluation algorithm and the Theorem 2 reduction instances — well within
+reach even though the problem is NP-complete in general.
+
+The public helpers mirror the relations used in the paper:
+
+* :func:`find_homomorphism` / :func:`all_homomorphisms` — raw search;
+* :func:`maps_to` — ``(S, X) → (S', X)``;
+* :func:`maps_into` — ``(S, X) →µ G``;
+* :func:`extends_into` — compatibility-style extension used by the baseline
+  wdPF evaluation algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .tgraph import GeneralizedTGraph, TGraph
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Term, Variable, is_ground_term
+from ..rdf.triples import TriplePattern
+from ..sparql.mappings import Mapping as SolutionMapping
+from ..exceptions import EvaluationError
+
+__all__ = [
+    "find_homomorphism",
+    "all_homomorphisms",
+    "has_homomorphism",
+    "maps_to",
+    "maps_into",
+    "extends_into",
+    "homomorphism_count",
+]
+
+_TargetTriples = FrozenSet[TriplePattern]
+
+
+def _target_triples(target: TGraph | RDFGraph | Iterable[TriplePattern]) -> _TargetTriples:
+    if isinstance(target, TGraph):
+        return target.triples()
+    if isinstance(target, RDFGraph):
+        return target.triples()
+    return frozenset(target)
+
+
+class _TargetIndex:
+    """Index of the target triples by every mask of bound positions."""
+
+    __slots__ = ("triples", "_index", "terms")
+
+    def __init__(self, triples: _TargetTriples) -> None:
+        self.triples = triples
+        self._index: Dict[Tuple, List[TriplePattern]] = {}
+        terms: Set[Term] = set()
+        for t in triples:
+            s, p, o = t.subject, t.predicate, t.object
+            terms.update((s, p, o))
+            for key in (
+                (s, None, None),
+                (None, p, None),
+                (None, None, o),
+                (s, p, None),
+                (s, None, o),
+                (None, p, o),
+                (s, p, o),
+            ):
+                self._index.setdefault(key, []).append(t)
+        self.terms = frozenset(terms)
+
+    def candidates(self, s: Optional[Term], p: Optional[Term], o: Optional[Term]) -> Iterable[TriplePattern]:
+        """Target triples agreeing with the bound positions (None = unbound)."""
+        if s is None and p is None and o is None:
+            return self.triples
+        return self._index.get((s, p, o), ())
+
+
+def _compatible_targets(
+    pattern: TriplePattern, assignment: Mapping[Variable, Term], index: _TargetIndex
+) -> Iterator[TriplePattern]:
+    """Target triples that the partially-assigned *pattern* could map onto."""
+
+    def resolved(term: Term) -> Optional[Term]:
+        if isinstance(term, Variable):
+            return assignment.get(term)
+        return term
+
+    s, p, o = (resolved(t) for t in pattern)
+    for candidate in index.candidates(s, p, o):
+        # Repeated unbound variables in the pattern must receive equal images.
+        local: Dict[Variable, Term] = {}
+        ok = True
+        for pat_term, target_term in zip(pattern, candidate):
+            value = resolved(pat_term)
+            if value is not None:
+                if value != target_term:
+                    ok = False
+                    break
+            else:
+                assert isinstance(pat_term, Variable)
+                seen = local.get(pat_term)
+                if seen is None:
+                    local[pat_term] = target_term
+                elif seen != target_term:
+                    ok = False
+                    break
+        if ok:
+            yield candidate
+
+
+def _triple_domains(
+    pattern: TriplePattern,
+    assignment: Mapping[Variable, Term],
+    index: _TargetIndex,
+    restrict_to: Optional[Mapping[Variable, Set[Term]]] = None,
+) -> Dict[Variable, Set[Term]]:
+    """For one triple with at least one unassigned variable, the values its
+    unassigned variables can take.
+
+    When *restrict_to* is given, candidate values outside the current domains
+    are discarded eagerly.
+    """
+    unassigned = [v for v in pattern.variables() if v not in assignment]
+    domains: Dict[Variable, Set[Term]] = {v: set() for v in unassigned}
+    for candidate in _compatible_targets(pattern, assignment, index):
+        for pat_term, target_term in zip(pattern, candidate):
+            if isinstance(pat_term, Variable) and pat_term in domains:
+                if restrict_to is not None and target_term not in restrict_to.get(pat_term, ()):
+                    continue
+                domains[pat_term].add(target_term)
+    return domains
+
+
+def _search(
+    source: Sequence[TriplePattern],
+    index: _TargetIndex,
+    fixed: Dict[Variable, Term],
+) -> Iterator[Dict[Variable, Term]]:
+    """Backtracking search with forward checking over maintained domains."""
+    source_vars: Set[Variable] = set()
+    for t in source:
+        source_vars.update(t.variables())
+    unbound = sorted(source_vars - set(fixed), key=lambda v: v.name)
+    assignment: Dict[Variable, Term] = dict(fixed)
+
+    # Triples indexed by the variables they mention (only unbound ones matter
+    # for propagation).
+    triples_of_var: Dict[Variable, List[TriplePattern]] = {v: [] for v in unbound}
+    for t in source:
+        for v in t.variables():
+            if v in triples_of_var:
+                triples_of_var[v].append(t)
+
+    # Triples without unbound variables must be satisfied outright.
+    for t in source:
+        if not (t.variables() - set(fixed)):
+            if not any(True for _ in _compatible_targets(t, assignment, index)):
+                return
+
+    # Initial domains: intersect, for every triple mentioning the variable,
+    # the values that triple allows.
+    domains: Dict[Variable, Set[Term]] = {}
+    for var in unbound:
+        domain: Optional[Set[Term]] = None
+        for t in triples_of_var[var]:
+            values = _triple_domains(t, assignment, index).get(var, set())
+            domain = set(values) if domain is None else (domain & values)
+            if not domain:
+                return
+        domains[var] = domain if domain is not None else set(index.terms)
+
+    def propagate(
+        var: Variable, current: Dict[Variable, Set[Term]]
+    ) -> Optional[Dict[Variable, Set[Term]]]:
+        """Forward checking after assigning *var*: shrink the domains of the
+        unassigned variables sharing a triple with it."""
+        updated = current
+        copied = False
+        for t in triples_of_var[var]:
+            others = [v for v in t.variables() if v not in assignment]
+            if not others:
+                # The triple just became fully assigned: it must be satisfied.
+                if not any(True for _ in _compatible_targets(t, assignment, index)):
+                    return None
+                continue
+            per_triple = _triple_domains(t, assignment, index, restrict_to=updated)
+            for other in others:
+                allowed = per_triple.get(other, set())
+                if not copied:
+                    updated = {v: set(d) for v, d in updated.items()}
+                    copied = True
+                updated[other] &= allowed
+                if not updated[other]:
+                    return None
+        return updated
+
+    def backtrack(current: Dict[Variable, Set[Term]]) -> Iterator[Dict[Variable, Term]]:
+        remaining = [v for v in unbound if v not in assignment]
+        if not remaining:
+            yield dict(assignment)
+            return
+        var = min(remaining, key=lambda v: (len(current[v]), v.name))
+        for value in sorted(current[var], key=str):
+            assignment[var] = value
+            pruned = propagate(var, current)
+            if pruned is not None:
+                yield from backtrack(pruned)
+            del assignment[var]
+
+    yield from backtrack(domains)
+
+
+def find_homomorphism(
+    source: TGraph | Iterable[TriplePattern],
+    target: TGraph | RDFGraph | Iterable[TriplePattern],
+    fixed: Optional[Mapping[Variable, Term]] = None,
+) -> Optional[Dict[Variable, Term]]:
+    """Find one homomorphism from *source* to *target* respecting *fixed*.
+
+    Returns a dictionary with domain exactly ``vars(source)`` (including the
+    fixed variables) or ``None`` when no homomorphism exists.
+    """
+    for hom in all_homomorphisms(source, target, fixed):
+        return hom
+    return None
+
+
+def all_homomorphisms(
+    source: TGraph | Iterable[TriplePattern],
+    target: TGraph | RDFGraph | Iterable[TriplePattern],
+    fixed: Optional[Mapping[Variable, Term]] = None,
+) -> Iterator[Dict[Variable, Term]]:
+    """Iterate over all homomorphisms from *source* to *target*."""
+    source_triples = list(source.triples() if isinstance(source, TGraph) else source)
+    index = _TargetIndex(_target_triples(target))
+    fixed_dict: Dict[Variable, Term] = dict(fixed or {})
+    source_vars: Set[Variable] = set()
+    for t in source_triples:
+        source_vars.update(t.variables())
+    # Fixed bindings for variables not occurring in the source are irrelevant.
+    fixed_dict = {v: t for v, t in fixed_dict.items() if v in source_vars}
+    yield from _search(source_triples, index, fixed_dict)
+
+
+def has_homomorphism(
+    source: TGraph | Iterable[TriplePattern],
+    target: TGraph | RDFGraph | Iterable[TriplePattern],
+    fixed: Optional[Mapping[Variable, Term]] = None,
+) -> bool:
+    """``True`` iff some homomorphism exists."""
+    return find_homomorphism(source, target, fixed) is not None
+
+
+def homomorphism_count(
+    source: TGraph | Iterable[TriplePattern],
+    target: TGraph | RDFGraph | Iterable[TriplePattern],
+    fixed: Optional[Mapping[Variable, Term]] = None,
+) -> int:
+    """The number of homomorphisms (useful in tests on small instances)."""
+    return sum(1 for _ in all_homomorphisms(source, target, fixed))
+
+
+def maps_to(source: GeneralizedTGraph, target: GeneralizedTGraph) -> bool:
+    """The relation ``(S, X) → (S', X)`` of the paper.
+
+    Requires both generalised t-graphs to carry the same distinguished set;
+    distinguished variables are mapped to themselves.
+    """
+    if source.distinguished != target.distinguished:
+        raise EvaluationError(
+            "maps_to() requires generalised t-graphs over the same distinguished set"
+        )
+    fixed = {var: var for var in source.distinguished}
+    return has_homomorphism(source.tgraph, target.tgraph, fixed)
+
+
+def maps_into(
+    source: GeneralizedTGraph,
+    graph: RDFGraph,
+    mu: SolutionMapping,
+) -> bool:
+    """The relation ``(S, X) →µ G``: a homomorphism into the RDF graph whose
+    restriction to ``X`` equals ``µ``.  Requires ``dom(µ) = X``."""
+    if mu.domain() != source.distinguished:
+        raise EvaluationError(
+            f"maps_into() requires dom(µ) = X; got dom(µ) = "
+            f"{sorted(str(v) for v in mu.domain())}, X = "
+            f"{sorted(str(v) for v in source.distinguished)}"
+        )
+    fixed: Dict[Variable, Term] = {var: mu[var] for var in source.distinguished}
+    return has_homomorphism(source.tgraph, graph, fixed)
+
+
+def extends_into(
+    triples: Iterable[TriplePattern],
+    graph: RDFGraph,
+    mu: SolutionMapping,
+) -> Optional[Dict[Variable, Term]]:
+    """Find a homomorphism ``ν`` from *triples* to *graph* compatible with ``µ``.
+
+    "Compatible" means that ``ν`` agrees with ``µ`` on the shared variables;
+    variables of *triples* outside ``dom(µ)`` may be mapped freely.  This is
+    the extension test of the natural wdPF evaluation algorithm (Lemma 1,
+    condition 2)."""
+    triples = list(triples)
+    relevant_vars: Set[Variable] = set()
+    for t in triples:
+        relevant_vars.update(t.variables())
+    fixed = {var: mu[var] for var in relevant_vars & mu.domain()}
+    return find_homomorphism(triples, graph, fixed)

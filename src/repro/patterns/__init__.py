@@ -1,0 +1,35 @@
+"""Well-designed pattern trees and forests, and the GtG machinery of the paper."""
+
+from .tree import WDPatternTree, Subtree
+from .forest import WDPatternForest
+from .build import build_wdpt, wdpf, pattern_of_tree, pattern_of_forest
+from .gtg import (
+    witness_subtree,
+    support,
+    ChildrenAssignment,
+    children_assignments,
+    renamed_child_tgraph,
+    s_delta,
+    is_valid_assignment,
+    valid_children_assignments,
+    gtg,
+)
+
+__all__ = [
+    "WDPatternTree",
+    "Subtree",
+    "WDPatternForest",
+    "build_wdpt",
+    "wdpf",
+    "pattern_of_tree",
+    "pattern_of_forest",
+    "witness_subtree",
+    "support",
+    "ChildrenAssignment",
+    "children_assignments",
+    "renamed_child_tgraph",
+    "s_delta",
+    "is_valid_assignment",
+    "valid_children_assignments",
+    "gtg",
+]

@@ -1,0 +1,78 @@
+"""Well-designed pattern forests (wdPFs).
+
+A wdPF is a finite set of wdPTs; a well-designed graph pattern
+``P1 UNION ... UNION Pm`` translates into the forest of the trees of its
+UNION-free operands.  The forest is the object on which the paper's
+domination-width machinery (supports, children assignments, ``GtG``) is
+defined; those constructions live in :mod:`repro.patterns.gtg`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .tree import Subtree, WDPatternTree
+from ..exceptions import PatternTreeError
+
+__all__ = ["WDPatternForest"]
+
+
+class WDPatternForest:
+    """An immutable, ordered collection of well-designed pattern trees."""
+
+    __slots__ = ("_trees",)
+
+    def __init__(self, trees: Sequence[WDPatternTree] | Iterable[WDPatternTree]) -> None:
+        trees = tuple(trees)
+        if not trees:
+            raise PatternTreeError("a pattern forest must contain at least one tree")
+        for tree in trees:
+            if not isinstance(tree, WDPatternTree):
+                raise PatternTreeError("forest members must be WDPatternTree instances")
+        object.__setattr__(self, "_trees", trees)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("WDPatternForest instances are immutable")
+
+    # --- container protocol ----------------------------------------------------
+    def __iter__(self) -> Iterator[WDPatternTree]:
+        return iter(self._trees)
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __getitem__(self, index: int) -> WDPatternTree:
+        return self._trees[index]
+
+    def __repr__(self) -> str:
+        return f"WDPatternForest(<{len(self._trees)} trees>)"
+
+    def trees(self) -> Tuple[WDPatternTree, ...]:
+        """The member trees, in order."""
+        return self._trees
+
+    # --- queries ------------------------------------------------------------------
+    def is_nr_normal_form(self) -> bool:
+        """``True`` when every member tree is in NR normal form."""
+        return all(tree.is_nr_normal_form() for tree in self._trees)
+
+    def to_nr_normal_form(self) -> "WDPatternForest":
+        """The forest of the NR normal forms of the member trees."""
+        return WDPatternForest(tree.to_nr_normal_form() for tree in self._trees)
+
+    def subtrees(self) -> Iterator[Tuple[int, Subtree]]:
+        """Enumerate ``(tree_index, subtree)`` pairs over all member trees.
+
+        This is the set of "subtrees of F" the domination width quantifies
+        over.
+        """
+        for index, tree in enumerate(self._trees):
+            for subtree in tree.subtrees():
+                yield index, subtree
+
+    def pretty(self) -> str:
+        """Human-readable rendering of every tree in the forest."""
+        blocks: List[str] = []
+        for index, tree in enumerate(self._trees):
+            blocks.append(f"T{index + 1}:\n{tree.pretty()}")
+        return "\n\n".join(blocks)

@@ -1,0 +1,220 @@
+"""Supports, children assignments and the generalised t-graphs ``GtG(T)``.
+
+These are the combinatorial objects Section 3.1 of the paper builds the
+domination width on:
+
+* the *support* ``supp(T)`` of a subtree ``T`` of a forest
+  ``F = {T1, ..., Tm}``: the indices ``i`` for which some subtree of ``Ti``
+  has exactly the variables of ``T`` (unique in NR normal form, written
+  ``T^sp(i)``);
+* *children assignments* ``Δ``: partial choice functions picking, for some
+  supported indices, a child of ``T^sp(i)``;
+* the t-graph ``S_Δ = pat(T) ∪ ⋃ ρ_Δ(i)`` where ``ρ_Δ`` renames the private
+  variables of each chosen child apart;
+* *valid* children assignments and the resulting set of generalised
+  t-graphs ``GtG(T) = {(S_Δ, vars(T)) | Δ ∈ VCA(T)}``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .forest import WDPatternForest
+from .tree import Subtree, WDPatternTree
+from ..hom.homomorphism import maps_to
+from ..hom.tgraph import GeneralizedTGraph, TGraph, fresh_variable_renaming
+from ..rdf.terms import Variable
+from ..exceptions import PatternTreeError
+
+__all__ = [
+    "witness_subtree",
+    "support",
+    "ChildrenAssignment",
+    "children_assignments",
+    "renamed_child_tgraph",
+    "s_delta",
+    "is_valid_assignment",
+    "valid_children_assignments",
+    "gtg",
+]
+
+
+def witness_subtree(tree: WDPatternTree, variables: FrozenSet[Variable]) -> Optional[Subtree]:
+    """The subtree of *tree* whose variables are exactly *variables*, if any.
+
+    Computed as the maximal subtree whose nodes only use variables from
+    *variables*; by the NR normal form and the variable-connectivity
+    condition this is the unique witness when one exists.
+    """
+    if not tree.vars(tree.root) <= variables:
+        return None
+    selected = {tree.root}
+    frontier = list(tree.children_of(tree.root))
+    while frontier:
+        node = frontier.pop()
+        if tree.vars(node) <= variables:
+            selected.add(node)
+            frontier.extend(tree.children_of(node))
+    subtree = tree.subtree(selected)
+    if subtree.variables() == variables:
+        return subtree
+    return None
+
+
+def support(forest: WDPatternForest, subtree: Subtree) -> Dict[int, Subtree]:
+    """``supp(T)`` together with the witness subtrees ``T^sp(i)``.
+
+    Returns a mapping from tree index to the witness subtree of that tree
+    having exactly ``vars(T)``.
+    """
+    variables = subtree.variables()
+    result: Dict[int, Subtree] = {}
+    for index, tree in enumerate(forest):
+        witness = witness_subtree(tree, variables)
+        if witness is not None:
+            result[index] = witness
+    return result
+
+
+class ChildrenAssignment:
+    """A children assignment ``Δ``: a non-empty partial map from supported tree
+    indices to children of the corresponding witness subtrees."""
+
+    __slots__ = ("choices",)
+
+    def __init__(self, choices: Mapping[int, int]) -> None:
+        choices = dict(choices)
+        if not choices:
+            raise PatternTreeError("a children assignment must have a non-empty domain")
+        object.__setattr__(self, "choices", choices)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ChildrenAssignment instances are immutable")
+
+    def domain(self) -> FrozenSet[int]:
+        """``dom(Δ)`` — the tree indices the assignment covers."""
+        return frozenset(self.choices)
+
+    def __getitem__(self, index: int) -> int:
+        return self.choices[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ChildrenAssignment) and self.choices == other.choices
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.choices.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{i} -> {n}" for i, n in sorted(self.choices.items()))
+        return f"ChildrenAssignment({{{inner}}})"
+
+
+def children_assignments(
+    forest: WDPatternForest, subtree: Subtree, supp: Optional[Dict[int, Subtree]] = None
+) -> Iterator[ChildrenAssignment]:
+    """Enumerate ``CA(T)``: all children assignments for the subtree.
+
+    The enumeration is exponential in the number of supported trees with
+    children; the paper's width computations quantify over it explicitly, so
+    this is intended for query-sized inputs.
+    """
+    if supp is None:
+        supp = support(forest, subtree)
+    indices = sorted(supp)
+    children_options: Dict[int, Tuple[int, ...]] = {}
+    for index in indices:
+        children = supp[index].children()
+        if children:
+            children_options[index] = children
+    usable = sorted(children_options)
+    if not usable:
+        return
+    # For each index independently choose "absent" (None) or one of its
+    # children; skip the all-absent combination (the domain must be non-empty).
+    option_lists = [(None,) + children_options[index] for index in usable]
+    for combination in product(*option_lists):
+        choices = {
+            index: node for index, node in zip(usable, combination) if node is not None
+        }
+        if choices:
+            yield ChildrenAssignment(choices)
+
+
+def renamed_child_tgraph(
+    witness: Subtree, child: int, shared_variables: FrozenSet[Variable], used: Iterable[Variable]
+) -> TGraph:
+    """``ρ_Δ(i)``: the label of the chosen child with its private variables
+    (those outside ``vars(T)``) renamed to fresh variables."""
+    child_label = witness.tree.pat(child)
+    private = child_label.variables() - shared_variables
+    renaming = fresh_variable_renaming(private, avoid=used)
+    return child_label.rename(renaming)
+
+
+def s_delta(
+    forest: WDPatternForest,
+    subtree: Subtree,
+    assignment: ChildrenAssignment,
+    supp: Optional[Dict[int, Subtree]] = None,
+) -> GeneralizedTGraph:
+    """The generalised t-graph ``(S_Δ, vars(T))`` for a children assignment ``Δ``."""
+    if supp is None:
+        supp = support(forest, subtree)
+    shared = subtree.variables()
+    result = subtree.pat()
+    used: set[Variable] = set(result.variables())
+    for index in sorted(assignment.domain()):
+        if index not in supp:
+            raise PatternTreeError(f"assignment refers to unsupported tree index {index}")
+        witness = supp[index]
+        if assignment[index] not in witness.children():
+            raise PatternTreeError(
+                f"assignment maps tree {index} to node {assignment[index]}, "
+                "which is not a child of its witness subtree"
+            )
+        renamed = renamed_child_tgraph(witness, assignment[index], shared, used)
+        used.update(renamed.variables())
+        result = result.union(renamed)
+    return GeneralizedTGraph(result, shared)
+
+
+def is_valid_assignment(
+    forest: WDPatternForest,
+    subtree: Subtree,
+    assignment: ChildrenAssignment,
+    supp: Optional[Dict[int, Subtree]] = None,
+) -> bool:
+    """``Δ ∈ VCA(T)``: for every supported index outside ``dom(Δ)``, the witness
+    pattern does *not* map homomorphically into ``(S_Δ, vars(T))``."""
+    if supp is None:
+        supp = support(forest, subtree)
+    target = s_delta(forest, subtree, assignment, supp)
+    shared = subtree.variables()
+    for index, witness in supp.items():
+        if index in assignment.domain():
+            continue
+        source = GeneralizedTGraph(witness.pat(), shared)
+        if maps_to(source, target):
+            return False
+    return True
+
+
+def valid_children_assignments(
+    forest: WDPatternForest, subtree: Subtree, supp: Optional[Dict[int, Subtree]] = None
+) -> Iterator[ChildrenAssignment]:
+    """Enumerate ``VCA(T)``."""
+    if supp is None:
+        supp = support(forest, subtree)
+    for assignment in children_assignments(forest, subtree, supp):
+        if is_valid_assignment(forest, subtree, assignment, supp):
+            yield assignment
+
+
+def gtg(forest: WDPatternForest, subtree: Subtree) -> FrozenSet[GeneralizedTGraph]:
+    """The set ``GtG(T) = {(S_Δ, vars(T)) | Δ ∈ VCA(T)}``."""
+    supp = support(forest, subtree)
+    result = set()
+    for assignment in valid_children_assignments(forest, subtree, supp):
+        result.add(s_delta(forest, subtree, assignment, supp))
+    return frozenset(result)

@@ -1,0 +1,5 @@
+"""The existential k-pebble game (the polynomial relaxation of homomorphism)."""
+
+from .game import pebble_game_winner, pebble_maps_into, PebbleGameStatistics
+
+__all__ = ["pebble_game_winner", "pebble_maps_into", "PebbleGameStatistics"]

@@ -1,0 +1,33 @@
+"""RDF substrate: terms, triples, indexed graphs, I/O and generators."""
+
+from .terms import IRI, Literal, Variable, Term, GroundTerm, is_ground_term
+from .triples import Triple, TriplePattern, triple, pattern, variables_of
+from .graph import RDFGraph
+from .namespace import Namespace, EX, FOAF, RDF_NS, RDFS_NS
+from .io import parse_ntriples, serialize_ntriples, load_graph, save_graph
+from . import generators
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "Variable",
+    "Term",
+    "GroundTerm",
+    "is_ground_term",
+    "Triple",
+    "TriplePattern",
+    "triple",
+    "pattern",
+    "variables_of",
+    "RDFGraph",
+    "Namespace",
+    "EX",
+    "FOAF",
+    "RDF_NS",
+    "RDFS_NS",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "load_graph",
+    "save_graph",
+    "generators",
+]

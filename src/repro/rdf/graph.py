@@ -1,0 +1,214 @@
+"""An in-memory, indexed RDF graph.
+
+:class:`RDFGraph` is a finite set of ground triples with hash indexes on
+every combination of bound positions, so that matching a single triple
+pattern against the graph is proportional to the number of matches rather
+than the size of the graph.  This is the data substrate every evaluation
+algorithm in the library runs on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from .terms import GroundTerm, IRI, Literal, Term, Variable, is_ground_term
+from .triples import Triple, TriplePattern
+from ..exceptions import RDFError
+
+__all__ = ["RDFGraph"]
+
+_Key = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class RDFGraph:
+    """A finite set of ground RDF triples with pattern-matching indexes.
+
+    >>> g = RDFGraph()
+    >>> _ = g.add(Triple.of("a", "p", "b"))
+    >>> len(g)
+    1
+    >>> list(g.matches(TriplePattern.of("?x", "p", "?y")))[0].is_ground()
+    True
+    """
+
+    __slots__ = ("_triples", "_by_s", "_by_p", "_by_o", "_by_sp", "_by_po", "_by_so")
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: Set[Triple] = set()
+        self._by_s: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_p: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_o: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        for t in triples:
+            self.add(t)
+
+    # --- construction -----------------------------------------------------
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[Tuple[object, object, object]]) -> "RDFGraph":
+        """Build a graph from ``(s, p, o)`` tuples of terms or plain strings."""
+        graph = cls()
+        for s, p, o in tuples:
+            graph.add(Triple.of(s, p, o))
+        return graph
+
+    def add(self, triple: Triple) -> "RDFGraph":
+        """Add a ground triple.  Returns ``self`` for chaining."""
+        if not isinstance(triple, TriplePattern):
+            raise TypeError(f"expected a Triple, got {type(triple).__name__}")
+        if not triple.is_ground():
+            raise RDFError(f"cannot add non-ground triple {triple} to an RDF graph")
+        if triple in self._triples:
+            return self
+        self._triples.add(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        self._by_s[s].add(triple)
+        self._by_p[p].add(triple)
+        self._by_o[o].add(triple)
+        self._by_sp[(s, p)].add(triple)
+        self._by_po[(p, o)].add(triple)
+        self._by_so[(s, o)].add(triple)
+        return self
+
+    def add_all(self, triples: Iterable[Triple]) -> "RDFGraph":
+        """Add every triple of *triples*."""
+        for t in triples:
+            self.add(t)
+        return self
+
+    def discard(self, triple: Triple) -> "RDFGraph":
+        """Remove a triple if present."""
+        if triple not in self._triples:
+            return self
+        self._triples.discard(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        self._by_s[s].discard(triple)
+        self._by_p[p].discard(triple)
+        self._by_o[o].discard(triple)
+        self._by_sp[(s, p)].discard(triple)
+        self._by_po[(p, o)].discard(triple)
+        self._by_so[(s, o)].discard(triple)
+        return self
+
+    def copy(self) -> "RDFGraph":
+        """A shallow copy (triples are immutable, so this is a full copy)."""
+        return RDFGraph(self._triples)
+
+    def union(self, other: "RDFGraph") -> "RDFGraph":
+        """A new graph containing the triples of both graphs."""
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    # --- container protocol -------------------------------------------------
+    def __contains__(self, triple: object) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RDFGraph) and self._triples == other._triples
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._triples))
+
+    def __repr__(self) -> str:
+        return f"RDFGraph(<{len(self)} triples>)"
+
+    # --- queries --------------------------------------------------------------
+    def triples(self) -> FrozenSet[Triple]:
+        """The triples as a frozen set."""
+        return frozenset(self._triples)
+
+    def domain(self) -> frozenset[GroundTerm]:
+        """``dom(G)``: the ground terms appearing in any position of any triple."""
+        result: set[GroundTerm] = set()
+        for t in self._triples:
+            result.update(t.constants())
+        return frozenset(result)
+
+    def subjects(self) -> frozenset[Term]:
+        """All subjects occurring in the graph."""
+        return frozenset(t.subject for t in self._triples)
+
+    def predicates(self) -> frozenset[Term]:
+        """All predicates occurring in the graph."""
+        return frozenset(t.predicate for t in self._triples)
+
+    def objects(self) -> frozenset[Term]:
+        """All objects occurring in the graph."""
+        return frozenset(t.object for t in self._triples)
+
+    def matches(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Iterate over the ground triples matching *pattern*.
+
+        Positions holding variables match anything; repeated variables in the
+        pattern must be matched by equal terms.
+        """
+        s = pattern.subject if is_ground_term(pattern.subject) else None
+        p = pattern.predicate if is_ground_term(pattern.predicate) else None
+        o = pattern.object if is_ground_term(pattern.object) else None
+        candidates = self._candidates(s, p, o)
+        for t in candidates:
+            if self._unifies(pattern, t):
+                yield t
+
+    def solutions(self, pattern: TriplePattern) -> Iterator[Dict[Variable, GroundTerm]]:
+        """Iterate over variable bindings ``µ`` with ``µ(pattern) ∈ G``.
+
+        This is the base case ``⟦t⟧G`` of the SPARQL semantics, yielded as
+        plain dictionaries; :mod:`repro.sparql.mappings` wraps them.
+        """
+        for t in self.matches(pattern):
+            binding: Dict[Variable, GroundTerm] = {}
+            ok = True
+            for pat_term, data_term in zip(pattern, t):
+                if isinstance(pat_term, Variable):
+                    existing = binding.get(pat_term)
+                    if existing is not None and existing != data_term:
+                        ok = False
+                        break
+                    binding[pat_term] = data_term
+            if ok:
+                yield binding
+
+    # --- internals --------------------------------------------------------------
+    def _candidates(self, s: Optional[Term], p: Optional[Term], o: Optional[Term]) -> Iterable[Triple]:
+        """Pick the most selective index for the bound positions."""
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            return (t,) if t in self._triples else ()
+        if s is not None and p is not None:
+            return self._by_sp.get((s, p), ())
+        if p is not None and o is not None:
+            return self._by_po.get((p, o), ())
+        if s is not None and o is not None:
+            return self._by_so.get((s, o), ())
+        if s is not None:
+            return self._by_s.get(s, ())
+        if p is not None:
+            return self._by_p.get(p, ())
+        if o is not None:
+            return self._by_o.get(o, ())
+        return self._triples
+
+    @staticmethod
+    def _unifies(pattern: TriplePattern, data: Triple) -> bool:
+        """Check that *data* matches *pattern* including repeated variables."""
+        binding: Dict[Variable, Term] = {}
+        for pat_term, data_term in zip(pattern, data):
+            if isinstance(pat_term, Variable):
+                bound = binding.get(pat_term)
+                if bound is None:
+                    binding[pat_term] = data_term
+                elif bound != data_term:
+                    return False
+            elif pat_term != data_term:
+                return False
+        return True

@@ -1,0 +1,56 @@
+"""Namespace helpers for building IRIs concisely.
+
+>>> EX = Namespace("http://example.org/")
+>>> EX.alice
+IRI('http://example.org/alice')
+>>> EX["knows"]
+IRI('http://example.org/knows')
+"""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+__all__ = ["Namespace", "EX", "RDF_NS", "RDFS_NS", "FOAF"]
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix."""
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: str) -> None:
+        if not isinstance(prefix, str) or not prefix:
+            raise ValueError("namespace prefix must be a non-empty string")
+        object.__setattr__(self, "prefix", prefix)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Namespace instances are immutable")
+
+    def term(self, local_name: str) -> IRI:
+        """Build the IRI ``prefix + local_name``."""
+        return IRI(self.prefix + local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return self.term(local_name)
+
+    def __getattr__(self, local_name: str) -> IRI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.prefix)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.prefix!r})"
+
+
+#: Example namespace used throughout tests and examples.
+EX = Namespace("http://example.org/")
+#: The RDF vocabulary namespace.
+RDF_NS = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+#: The RDFS vocabulary namespace.
+RDFS_NS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+#: The FOAF vocabulary namespace (used by the social-network example).
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")

@@ -1,0 +1,167 @@
+"""RDF triples and SPARQL triple patterns.
+
+A *triple pattern* is a tuple in ``(I ∪ V) × (I ∪ V) × (I ∪ V)`` and an
+*RDF triple* is a triple pattern without variables.  Both are represented by
+:class:`TriplePattern`; :func:`triple` is a convenience constructor that
+additionally checks groundness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .terms import IRI, GroundTerm, Literal, Term, Variable, is_ground_term, term_sort_key
+from ..exceptions import RDFError
+
+__all__ = ["TriplePattern", "Triple", "triple", "pattern", "coerce_term"]
+
+
+def coerce_term(value: object) -> Term:
+    """Coerce a convenience value into a :class:`Term`.
+
+    Strings starting with ``?`` become variables, every other string becomes
+    an :class:`IRI`.  Existing terms pass through unchanged.
+
+    >>> coerce_term("?x")
+    Variable('x')
+    >>> coerce_term("http://example.org/p")
+    IRI('http://example.org/p')
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        if value.startswith("?") or value.startswith("$"):
+            return Variable(value)
+        return IRI(value)
+    raise TypeError(f"cannot interpret {value!r} as an RDF term")
+
+
+class TriplePattern:
+    """An immutable subject/predicate/object triple over ``I ∪ V``.
+
+    >>> t = TriplePattern.of("?x", "knows", "?y")
+    >>> sorted(str(v) for v in t.variables())
+    ['?x', '?y']
+    """
+
+    __slots__ = ("subject", "predicate", "object", "_hash")
+
+    def __init__(self, subject: Term, predicate: Term, obj: Term) -> None:
+        for position, term in (("subject", subject), ("predicate", predicate), ("object", obj)):
+            if not isinstance(term, Term):
+                raise TypeError(
+                    f"{position} of a triple pattern must be a Term, got {type(term).__name__}"
+                )
+        super().__setattr__("subject", subject)
+        super().__setattr__("predicate", predicate)
+        super().__setattr__("object", obj)
+        super().__setattr__("_hash", hash((subject, predicate, obj)))
+
+    # --- construction helpers -------------------------------------------------
+    @classmethod
+    def of(cls, subject: object, predicate: object, object_: object) -> "TriplePattern":
+        """Build a triple pattern from terms or convenience strings."""
+        return cls(coerce_term(subject), coerce_term(predicate), coerce_term(object_))
+
+    # --- immutability ---------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TriplePattern instances are immutable")
+
+    # --- basic protocol -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def __str__(self) -> str:
+        return f"({self.subject} {self.predicate} {self.object})"
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def __lt__(self, other: "TriplePattern") -> bool:
+        if not isinstance(other, TriplePattern):
+            return NotImplemented
+        return tuple(term_sort_key(t) for t in self) < tuple(term_sort_key(t) for t in other)
+
+    # --- queries ---------------------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        """The set ``vars(t)`` of variables occurring in the pattern."""
+        return frozenset(t for t in self if isinstance(t, Variable))
+
+    def constants(self) -> frozenset[GroundTerm]:
+        """The ground constants (IRIs and literals) occurring in the pattern."""
+        return frozenset(t for t in self if is_ground_term(t))
+
+    def is_ground(self) -> bool:
+        """``True`` when the pattern contains no variables, i.e. it is an RDF triple."""
+        return not any(isinstance(t, Variable) for t in self)
+
+    # --- substitution ----------------------------------------------------------
+    def substitute(self, assignment: Mapping[Variable, Term]) -> "TriplePattern":
+        """Apply a partial substitution, leaving unbound variables in place.
+
+        This is the ``h(t)`` operation of the paper for partial functions
+        ``h : V → I ∪ V`` (values may be variables or constants).
+        """
+
+        def subst(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return assignment.get(term, term)
+            return term
+
+        return TriplePattern(subst(self.subject), subst(self.predicate), subst(self.object))
+
+    def apply(self, mapping: Mapping[Variable, Term]) -> "TriplePattern":
+        """Apply a mapping ``µ`` with ``vars(t) ⊆ dom(µ)`` producing a ground triple.
+
+        Raises :class:`RDFError` when some variable is unbound or a value is
+        itself a variable, because the result would not be an RDF triple.
+        """
+        result = self.substitute(mapping)
+        if not result.is_ground():
+            missing = sorted(str(v) for v in result.variables())
+            raise RDFError(
+                f"mapping does not cover all variables of {self}: unbound {', '.join(missing)}"
+            )
+        return result
+
+    def rename(self, renaming: Mapping[Variable, Variable]) -> "TriplePattern":
+        """Rename variables according to *renaming* (a variable-to-variable map)."""
+        return self.substitute(renaming)
+
+
+#: In this code base an RDF triple is a ground :class:`TriplePattern`.
+Triple = TriplePattern
+
+
+def pattern(subject: object, predicate: object, object_: object) -> TriplePattern:
+    """Shorthand for :meth:`TriplePattern.of`."""
+    return TriplePattern.of(subject, predicate, object_)
+
+
+def triple(subject: object, predicate: object, object_: object) -> TriplePattern:
+    """Build a *ground* triple, raising :class:`RDFError` if a variable sneaks in."""
+    result = TriplePattern.of(subject, predicate, object_)
+    if not result.is_ground():
+        raise RDFError(f"RDF triples must be ground, got {result}")
+    return result
+
+
+def variables_of(patterns: Iterable[TriplePattern]) -> frozenset[Variable]:
+    """Union of ``vars(t)`` over a collection of triple patterns."""
+    result: set[Variable] = set()
+    for p in patterns:
+        result.update(p.variables())
+    return frozenset(result)

@@ -1,0 +1,39 @@
+"""The Theorem 2 hardness machinery: grids, minor maps, the Lemma 2 and
+Lemma 3 constructions and the CLIQUE -> co-wdEVAL reduction."""
+
+from .grid import (
+    grid_graph,
+    is_minor_map,
+    minor_map_into_clique,
+    minor_map_by_monomorphism,
+    extend_minor_map_onto,
+    find_grid_minor_map,
+    MinorMap,
+)
+from .lemma2 import Lemma2Result, lemma2_construction, clique_number_pairs
+from .lemma3 import Lemma3Witness, lemma3_witness
+from .reduction import (
+    ReductionInstance,
+    clique_reduction,
+    minimum_family_index,
+    solve_clique_via_wdeval,
+)
+
+__all__ = [
+    "grid_graph",
+    "is_minor_map",
+    "minor_map_into_clique",
+    "minor_map_by_monomorphism",
+    "extend_minor_map_onto",
+    "find_grid_minor_map",
+    "MinorMap",
+    "Lemma2Result",
+    "lemma2_construction",
+    "clique_number_pairs",
+    "Lemma3Witness",
+    "lemma3_witness",
+    "ReductionInstance",
+    "clique_reduction",
+    "minimum_family_index",
+    "solve_clique_via_wdeval",
+]

@@ -1,0 +1,224 @@
+"""The AND / OPTIONAL / UNION graph-pattern algebra.
+
+Graph patterns are represented as an immutable abstract syntax tree:
+
+* :class:`TriplePatternNode` — a single triple pattern (the base case);
+* :class:`And` — ``P1 AND P2``;
+* :class:`Opt` — ``P1 OPT P2``;
+* :class:`Union` — ``P1 UNION P2``.
+
+Convenience constructors :func:`tp`, :func:`conj` and the combinator methods
+``.opt(...)``, ``.and_(...)``, ``.union(...)`` make building patterns in
+examples and tests readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+
+__all__ = [
+    "GraphPattern",
+    "TriplePatternNode",
+    "And",
+    "Opt",
+    "Union",
+    "tp",
+    "conj",
+    "opt_chain",
+    "union_of",
+]
+
+
+class GraphPattern:
+    """Abstract base class of SPARQL graph patterns (AND/OPT/UNION fragment)."""
+
+    __slots__ = ()
+
+    # --- structural queries -----------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        """All variables occurring anywhere in the pattern."""
+        raise NotImplementedError
+
+    def triple_patterns(self) -> frozenset[TriplePattern]:
+        """All triple patterns occurring anywhere in the pattern."""
+        raise NotImplementedError
+
+    def subpatterns(self) -> Iterator["GraphPattern"]:
+        """Iterate over all subpatterns (including the pattern itself)."""
+        raise NotImplementedError
+
+    def operators(self) -> frozenset[str]:
+        """The set of operators used (subset of {"AND", "OPT", "UNION"})."""
+        ops: set[str] = set()
+        for sub in self.subpatterns():
+            if isinstance(sub, And):
+                ops.add("AND")
+            elif isinstance(sub, Opt):
+                ops.add("OPT")
+            elif isinstance(sub, Union):
+                ops.add("UNION")
+        return frozenset(ops)
+
+    def is_union_free(self) -> bool:
+        """``True`` when the pattern uses no UNION operator."""
+        return "UNION" not in self.operators()
+
+    def size(self) -> int:
+        """Number of AST nodes — the query size parameter ``|P|`` of the paper."""
+        return sum(1 for _ in self.subpatterns())
+
+    # --- combinators -----------------------------------------------------------
+    def and_(self, other: "GraphPattern") -> "And":
+        """``self AND other``."""
+        return And(self, other)
+
+    def opt(self, other: "GraphPattern") -> "Opt":
+        """``self OPT other``."""
+        return Opt(self, other)
+
+    def union(self, other: "GraphPattern") -> "Union":
+        """``self UNION other``."""
+        return Union(self, other)
+
+    # --- helpers ----------------------------------------------------------------
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+
+class TriplePatternNode(GraphPattern):
+    """A leaf of the algebra: a single triple pattern."""
+
+    __slots__ = ("triple_pattern",)
+
+    def __init__(self, triple_pattern: TriplePattern) -> None:
+        if not isinstance(triple_pattern, TriplePattern):
+            raise TypeError("TriplePatternNode wraps a TriplePattern")
+        object.__setattr__(self, "triple_pattern", triple_pattern)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("graph patterns are immutable")
+
+    def variables(self) -> frozenset[Variable]:
+        return self.triple_pattern.variables()
+
+    def triple_patterns(self) -> frozenset[TriplePattern]:
+        return frozenset({self.triple_pattern})
+
+    def subpatterns(self) -> Iterator[GraphPattern]:
+        yield self
+
+    def _key(self) -> tuple:
+        return (self.triple_pattern,)
+
+    def __repr__(self) -> str:
+        return f"TriplePatternNode({self.triple_pattern!r})"
+
+    def __str__(self) -> str:
+        return str(self.triple_pattern)
+
+
+class _Binary(GraphPattern):
+    """Common implementation of the three binary operators."""
+
+    __slots__ = ("left", "right")
+
+    OPERATOR = "?"
+
+    def __init__(self, left: GraphPattern, right: GraphPattern) -> None:
+        for side, value in (("left", left), ("right", right)):
+            if not isinstance(value, GraphPattern):
+                raise TypeError(f"{side} operand must be a GraphPattern, got {type(value).__name__}")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("graph patterns are immutable")
+
+    def variables(self) -> frozenset[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def triple_patterns(self) -> frozenset[TriplePattern]:
+        return self.left.triple_patterns() | self.right.triple_patterns()
+
+    def subpatterns(self) -> Iterator[GraphPattern]:
+        yield self
+        yield from self.left.subpatterns()
+        yield from self.right.subpatterns()
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.OPERATOR} {self.right})"
+
+
+class And(_Binary):
+    """``P1 AND P2`` — conjunction of graph patterns."""
+
+    __slots__ = ()
+    OPERATOR = "AND"
+
+
+class Opt(_Binary):
+    """``P1 OPT P2`` — the left-outer-join (OPTIONAL) operator."""
+
+    __slots__ = ()
+    OPERATOR = "OPT"
+
+
+class Union(_Binary):
+    """``P1 UNION P2``."""
+
+    __slots__ = ()
+    OPERATOR = "UNION"
+
+
+def tp(subject: object, predicate: object, object_: object) -> TriplePatternNode:
+    """Build a triple-pattern leaf from terms or convenience strings.
+
+    >>> str(tp("?x", "p", "?y"))
+    '(?x <p> ?y)'
+    """
+    return TriplePatternNode(TriplePattern.of(subject, predicate, object_))
+
+
+def conj(patterns: Sequence[GraphPattern] | Iterable[GraphPattern]) -> GraphPattern:
+    """Left-deep AND of a non-empty sequence of patterns."""
+    items: List[GraphPattern] = list(patterns)
+    if not items:
+        raise ValueError("conj() requires at least one pattern")
+    result = items[0]
+    for item in items[1:]:
+        result = And(result, item)
+    return result
+
+
+def opt_chain(root: GraphPattern, *optionals: GraphPattern) -> GraphPattern:
+    """``((root OPT o1) OPT o2) ...`` — a left-deep chain of OPT operators."""
+    result = root
+    for optional in optionals:
+        result = Opt(result, optional)
+    return result
+
+
+def union_of(patterns: Sequence[GraphPattern] | Iterable[GraphPattern]) -> GraphPattern:
+    """Left-deep UNION of a non-empty sequence of patterns."""
+    items: List[GraphPattern] = list(patterns)
+    if not items:
+        raise ValueError("union_of() requires at least one pattern")
+    result = items[0]
+    for item in items[1:]:
+        result = Union(result, item)
+    return result

@@ -1,0 +1,227 @@
+"""FILTER conditions (built-in constraints).
+
+Section 5 of the paper discusses the FILTER operator: well-designed patterns
+with FILTER can express conjunctive queries with inequalities, and the clean
+PTIME / W[1]-hard dichotomy of Theorem 3 provably fails once FILTER is
+allowed.  This module provides the condition language needed to state and
+experiment with that discussion:
+
+* comparisons between variables and constants (``=``, ``!=``),
+* ``BOUND(?x)``,
+* boolean combinations (``&&``, ``||``, ``!``).
+
+Conditions are evaluated against solution mappings with the standard
+three-valued error handling collapsed to "unbound comparisons are false"
+(sufficient for the fragment studied here and documented as such).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..rdf.terms import GroundTerm, Term, Variable, is_ground_term
+from ..rdf.triples import coerce_term
+from .mappings import Mapping
+
+__all__ = [
+    "FilterCondition",
+    "Comparison",
+    "Bound",
+    "NotCondition",
+    "AndCondition",
+    "OrCondition",
+    "eq",
+    "neq",
+    "bound",
+]
+
+
+class FilterCondition:
+    """Abstract base class of FILTER conditions."""
+
+    __slots__ = ()
+
+    def evaluate(self, mapping: Mapping) -> bool:
+        """Truth value of the condition under the mapping."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[Variable]:
+        """The variables mentioned by the condition (``vars(R)``)."""
+        raise NotImplementedError
+
+    # --- combinators ---------------------------------------------------------
+    def __and__(self, other: "FilterCondition") -> "AndCondition":
+        return AndCondition(self, other)
+
+    def __or__(self, other: "FilterCondition") -> "OrCondition":
+        return OrCondition(self, other)
+
+    def __invert__(self) -> "NotCondition":
+        return NotCondition(self)
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+
+class Comparison(FilterCondition):
+    """``left OP right`` where OP is ``=`` or ``!=`` and the operands are
+    variables or ground terms."""
+
+    __slots__ = ("left", "right", "operator")
+
+    OPERATORS = ("=", "!=")
+
+    def __init__(self, left: Term, right: Term, operator: str) -> None:
+        if operator not in self.OPERATORS:
+            raise ValueError(f"unsupported comparison operator {operator!r}")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "operator", operator)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("filter conditions are immutable")
+
+    def _resolve(self, term: Term, mapping: Mapping) -> Optional[GroundTerm]:
+        if isinstance(term, Variable):
+            return mapping.get(term)
+        assert is_ground_term(term)
+        return term
+
+    def evaluate(self, mapping: Mapping) -> bool:
+        left = self._resolve(self.left, mapping)
+        right = self._resolve(self.right, mapping)
+        if left is None or right is None:
+            # An unbound operand makes the comparison an error; errors are
+            # filtered out, i.e. treated as false.
+            return False
+        return (left == right) if self.operator == "=" else (left != right)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def _key(self) -> tuple:
+        return (self.left, self.right, self.operator)
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.left} {self.operator} {self.right})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+class Bound(FilterCondition):
+    """``BOUND(?x)`` — true when the variable is bound by the mapping."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable: Variable) -> None:
+        if not isinstance(variable, Variable):
+            raise TypeError("BOUND takes a variable")
+        object.__setattr__(self, "variable", variable)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("filter conditions are immutable")
+
+    def evaluate(self, mapping: Mapping) -> bool:
+        return self.variable in mapping
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset({self.variable})
+
+    def _key(self) -> tuple:
+        return (self.variable,)
+
+    def __repr__(self) -> str:
+        return f"Bound({self.variable})"
+
+    def __str__(self) -> str:
+        return f"BOUND({self.variable})"
+
+
+class NotCondition(FilterCondition):
+    """Negation ``!R``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: FilterCondition) -> None:
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("filter conditions are immutable")
+
+    def evaluate(self, mapping: Mapping) -> bool:
+        return not self.operand.evaluate(mapping)
+
+    def variables(self) -> frozenset[Variable]:
+        return self.operand.variables()
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"(! {self.operand})"
+
+
+class _BinaryCondition(FilterCondition):
+    __slots__ = ("left", "right")
+    CONNECTIVE = "?"
+
+    def __init__(self, left: FilterCondition, right: FilterCondition) -> None:
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("filter conditions are immutable")
+
+    def variables(self) -> frozenset[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.CONNECTIVE} {self.right})"
+
+
+class AndCondition(_BinaryCondition):
+    """Conjunction ``R1 && R2``."""
+
+    __slots__ = ()
+    CONNECTIVE = "&&"
+
+    def evaluate(self, mapping: Mapping) -> bool:
+        return self.left.evaluate(mapping) and self.right.evaluate(mapping)
+
+
+class OrCondition(_BinaryCondition):
+    """Disjunction ``R1 || R2``."""
+
+    __slots__ = ()
+    CONNECTIVE = "||"
+
+    def evaluate(self, mapping: Mapping) -> bool:
+        return self.left.evaluate(mapping) or self.right.evaluate(mapping)
+
+
+def eq(left: object, right: object) -> Comparison:
+    """``left = right`` over terms or convenience strings (``"?x"``, IRIs)."""
+    return Comparison(coerce_term(left), coerce_term(right), "=")
+
+
+def neq(left: object, right: object) -> Comparison:
+    """``left != right``."""
+    return Comparison(coerce_term(left), coerce_term(right), "!=")
+
+
+def bound(variable: object) -> Bound:
+    """``BOUND(?x)``."""
+    term = coerce_term(variable)
+    if not isinstance(term, Variable):
+        raise TypeError("BOUND takes a variable")
+    return Bound(term)

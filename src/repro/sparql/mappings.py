@@ -1,0 +1,182 @@
+"""Solution mappings.
+
+A *mapping* ``µ`` is a partial function from variables to ground terms.  This
+module provides the immutable :class:`Mapping` value object together with the
+compatibility and merge operations that define the SPARQL algebra of Pérez et
+al. (and which the paper relies on throughout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional, Tuple
+
+from ..rdf.terms import GroundTerm, IRI, Term, Variable, is_ground_term
+from ..rdf.triples import Triple, TriplePattern
+from ..exceptions import EvaluationError
+
+__all__ = ["Mapping", "compatible", "merge", "join_sets", "left_outer_join_sets", "union_sets"]
+
+
+class Mapping:
+    """An immutable partial function from variables to ground terms.
+
+    >>> mu = Mapping({Variable("x"): IRI("http://example.org/a")})
+    >>> Variable("x") in mu
+    True
+    >>> mu.is_compatible_with(Mapping({}))
+    True
+    """
+
+    __slots__ = ("_bindings", "_hash")
+
+    EMPTY: "Mapping"
+
+    def __init__(self, bindings: TMapping[Variable, GroundTerm] | Iterable[Tuple[Variable, GroundTerm]] = ()) -> None:
+        items: Dict[Variable, GroundTerm] = dict(bindings)
+        for var, value in items.items():
+            if not isinstance(var, Variable):
+                raise TypeError(f"mapping keys must be variables, got {var!r}")
+            if not is_ground_term(value):
+                raise TypeError(f"mapping values must be ground terms, got {value!r}")
+        object.__setattr__(self, "_bindings", items)
+        object.__setattr__(self, "_hash", hash(frozenset(items.items())))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Mapping instances are immutable")
+
+    # --- constructors ---------------------------------------------------------
+    @classmethod
+    def of(cls, **bindings: object) -> "Mapping":
+        """Convenience constructor: ``Mapping.of(x="http://e.org/a")``."""
+        from ..rdf.triples import coerce_term
+
+        items = {}
+        for name, value in bindings.items():
+            term = coerce_term(value)
+            if isinstance(term, Variable):
+                raise TypeError("mapping values must be ground terms")
+            items[Variable(name)] = term
+        return cls(items)
+
+    # --- dict-like protocol ----------------------------------------------------
+    def __getitem__(self, var: Variable) -> GroundTerm:
+        return self._bindings[var]
+
+    def get(self, var: Variable, default: Optional[GroundTerm] = None) -> Optional[GroundTerm]:
+        return self._bindings.get(var, default)
+
+    def __contains__(self, var: object) -> bool:
+        return var in self._bindings
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def items(self) -> Iterable[Tuple[Variable, GroundTerm]]:
+        return self._bindings.items()
+
+    def as_dict(self) -> Dict[Variable, GroundTerm]:
+        """A plain mutable copy of the bindings."""
+        return dict(self._bindings)
+
+    def domain(self) -> frozenset[Variable]:
+        """``dom(µ)``."""
+        return frozenset(self._bindings)
+
+    # --- equality ----------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Mapping) and self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{var}={value}" for var, value in sorted(self._bindings.items(), key=lambda kv: kv[0].name)
+        )
+        return f"Mapping({{{inner}}})"
+
+    # --- algebra -------------------------------------------------------------------
+    def is_compatible_with(self, other: "Mapping") -> bool:
+        """``µ1 ~ µ2``: the mappings agree on their common domain."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        for var, value in small.items():
+            other_value = large.get(var)
+            if other_value is not None and other_value != value:
+                return False
+        return True
+
+    def merge(self, other: "Mapping") -> "Mapping":
+        """``µ1 ∪ µ2`` for compatible mappings."""
+        if not self.is_compatible_with(other):
+            raise EvaluationError(f"cannot merge incompatible mappings {self} and {other}")
+        combined = dict(self._bindings)
+        combined.update(other._bindings)
+        return Mapping(combined)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Mapping":
+        """The restriction ``µ|V`` of the mapping to a set of variables."""
+        keep = set(variables)
+        return Mapping({v: t for v, t in self._bindings.items() if v in keep})
+
+    def extend(self, var: Variable, value: GroundTerm) -> "Mapping":
+        """A new mapping additionally binding *var* to *value*."""
+        if var in self._bindings and self._bindings[var] != value:
+            raise EvaluationError(f"variable {var} already bound to a different value")
+        combined = dict(self._bindings)
+        combined[var] = value
+        return Mapping(combined)
+
+    def apply(self, pattern: TriplePattern) -> Triple:
+        """``µ(t)`` — instantiate a triple pattern into a ground triple."""
+        return pattern.apply(self._bindings)
+
+    def covers(self, pattern: TriplePattern) -> bool:
+        """``vars(t) ⊆ dom(µ)``."""
+        return pattern.variables() <= self.domain()
+
+
+Mapping.EMPTY = Mapping({})
+
+
+def compatible(mu1: Mapping, mu2: Mapping) -> bool:
+    """Module-level alias of :meth:`Mapping.is_compatible_with`."""
+    return mu1.is_compatible_with(mu2)
+
+
+def merge(mu1: Mapping, mu2: Mapping) -> Mapping:
+    """Module-level alias of :meth:`Mapping.merge`."""
+    return mu1.merge(mu2)
+
+
+def join_sets(omega1: Iterable[Mapping], omega2: Iterable[Mapping]) -> set[Mapping]:
+    """``Ω1 ⋈ Ω2``: all merges of compatible pairs."""
+    omega2 = list(omega2)
+    result: set[Mapping] = set()
+    for mu1 in omega1:
+        for mu2 in omega2:
+            if mu1.is_compatible_with(mu2):
+                result.add(mu1.merge(mu2))
+    return result
+
+
+def left_outer_join_sets(omega1: Iterable[Mapping], omega2: Iterable[Mapping]) -> set[Mapping]:
+    """``Ω1 ⟕ Ω2`` — the OPTIONAL semantics: join where possible, keep µ1 otherwise."""
+    omega2 = list(omega2)
+    result: set[Mapping] = set()
+    for mu1 in omega1:
+        extended = False
+        for mu2 in omega2:
+            if mu1.is_compatible_with(mu2):
+                result.add(mu1.merge(mu2))
+                extended = True
+        if not extended:
+            result.add(mu1)
+    return result
+
+
+def union_sets(omega1: Iterable[Mapping], omega2: Iterable[Mapping]) -> set[Mapping]:
+    """``Ω1 ∪ Ω2``."""
+    return set(omega1) | set(omega2)

@@ -1,0 +1,145 @@
+"""Well-designedness checking and UNION normal form.
+
+A UNION-free pattern ``P`` is *well-designed* when for every subpattern
+``P' = (P1 OPT P2)`` of ``P``, every variable occurring in ``P2`` but not in
+``P1`` does not occur outside ``P'`` in ``P``.  A general pattern is
+well-designed when it is of the form ``P1 UNION ... UNION Pm`` (UNION only at
+the top) with every ``Pi`` UNION-free and well-designed.
+
+The functions here check the condition, report violations precisely (for
+error messages and for tests that exercise the negative cases), and extract
+the UNION normal form used by the pattern-forest translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .algebra import And, GraphPattern, Opt, TriplePatternNode, Union
+from ..exceptions import NotWellDesignedError
+from ..rdf.terms import Variable
+
+__all__ = [
+    "WellDesignedViolation",
+    "find_violation",
+    "is_well_designed",
+    "check_well_designed",
+    "union_operands",
+    "is_union_free_well_designed",
+]
+
+#: A path addresses a subpattern: a sequence of 0 (left operand) / 1 (right operand).
+Path = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WellDesignedViolation:
+    """A witness that a pattern is not well-designed.
+
+    Attributes
+    ----------
+    path:
+        The path (sequence of 0/1 operand choices) of the offending OPT
+        subpattern, or of the nested UNION when ``kind == "nested-union"``.
+    variable:
+        The variable violating the condition (``None`` for nested unions).
+    kind:
+        Either ``"opt-variable"`` or ``"nested-union"``.
+    """
+
+    path: Path
+    variable: Optional[Variable]
+    kind: str
+
+    def describe(self) -> str:
+        """A human-readable description of the violation."""
+        if self.kind == "nested-union":
+            return f"UNION operator nested below AND/OPT at path {list(self.path)}"
+        return (
+            f"variable {self.variable} occurs in the optional side of the OPT at path "
+            f"{list(self.path)}, not in its mandatory side, and again outside that subpattern"
+        )
+
+
+def _subpatterns_with_paths(pattern: GraphPattern, prefix: Path = ()) -> Iterator[Tuple[Path, GraphPattern]]:
+    """Enumerate (path, subpattern) pairs in pre-order."""
+    yield prefix, pattern
+    if isinstance(pattern, (And, Opt, Union)):
+        yield from _subpatterns_with_paths(pattern.left, prefix + (0,))
+        yield from _subpatterns_with_paths(pattern.right, prefix + (1,))
+
+
+def _variables_outside(pattern: GraphPattern, excluded_path: Path) -> frozenset[Variable]:
+    """Variables occurring in *pattern* outside the subpattern at *excluded_path*."""
+    result: set[Variable] = set()
+    for path, sub in _subpatterns_with_paths(pattern):
+        if isinstance(sub, TriplePatternNode):
+            inside = len(path) >= len(excluded_path) and path[: len(excluded_path)] == excluded_path
+            if not inside:
+                result.update(sub.variables())
+    return frozenset(result)
+
+
+def _find_union_free_violation(pattern: GraphPattern) -> Optional[WellDesignedViolation]:
+    """Check the OPT condition for a UNION-free pattern."""
+    for path, sub in _subpatterns_with_paths(pattern):
+        if isinstance(sub, Union):
+            return WellDesignedViolation(path=path, variable=None, kind="nested-union")
+        if isinstance(sub, Opt):
+            dangerous = sub.right.variables() - sub.left.variables()
+            if not dangerous:
+                continue
+            outside = _variables_outside(pattern, path)
+            for variable in sorted(dangerous, key=lambda v: v.name):
+                if variable in outside:
+                    return WellDesignedViolation(path=path, variable=variable, kind="opt-variable")
+    return None
+
+
+def union_operands(pattern: GraphPattern) -> List[GraphPattern]:
+    """The operands ``P1, ..., Pm`` of the top-level UNION normal form.
+
+    UNION operators may only appear at the top of the pattern; this function
+    does not check well-designedness of the operands (use
+    :func:`check_well_designed` for the full check).
+    """
+    if isinstance(pattern, Union):
+        return union_operands(pattern.left) + union_operands(pattern.right)
+    return [pattern]
+
+
+def find_violation(pattern: GraphPattern) -> Optional[WellDesignedViolation]:
+    """Return a violation witness, or ``None`` when the pattern is well-designed."""
+    for operand in union_operands(pattern):
+        violation = _find_union_free_violation(operand)
+        if violation is not None:
+            return violation
+    return None
+
+
+def is_well_designed(pattern: GraphPattern) -> bool:
+    """``True`` iff *pattern* is a well-designed graph pattern.
+
+    >>> from .parser import parse_pattern
+    >>> is_well_designed(parse_pattern("((?x p ?y) OPT (?z q ?x))"))
+    True
+    >>> is_well_designed(parse_pattern(
+    ...     "(((?x p ?y) OPT (?z q ?x)) OPT ((?y r ?z) AND (?z r ?w)))"))
+    False
+    """
+    return find_violation(pattern) is None
+
+
+def is_union_free_well_designed(pattern: GraphPattern) -> bool:
+    """``True`` iff the pattern is UNION-free and well-designed."""
+    return pattern.is_union_free() and is_well_designed(pattern)
+
+
+def check_well_designed(pattern: GraphPattern) -> None:
+    """Raise :class:`NotWellDesignedError` (with a witness) unless well-designed."""
+    violation = find_violation(pattern)
+    if violation is not None:
+        raise NotWellDesignedError(
+            f"pattern is not well-designed: {violation.describe()}", violation=violation
+        )

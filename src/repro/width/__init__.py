@@ -1,0 +1,34 @@
+"""Width measures: domination width, branch treewidth and local width."""
+
+from .domination import (
+    is_dominating_set,
+    is_k_dominated,
+    minimum_domination_level,
+    domination_width,
+    domination_width_of_pattern,
+    has_domination_width_at_most,
+)
+from .branch import branch_gtgraph, branch_treewidth, branch_treewidth_of_pattern
+from .local import local_node_gtgraph, local_width, local_width_of_forest, local_width_of_pattern
+from .classify import TractabilityReport, classify_pattern, classify_forest, classify_family, FamilyClassification
+
+__all__ = [
+    "is_dominating_set",
+    "is_k_dominated",
+    "minimum_domination_level",
+    "domination_width",
+    "domination_width_of_pattern",
+    "has_domination_width_at_most",
+    "branch_gtgraph",
+    "branch_treewidth",
+    "branch_treewidth_of_pattern",
+    "local_node_gtgraph",
+    "local_width",
+    "local_width_of_pattern",
+    "local_width_of_forest",
+    "TractabilityReport",
+    "classify_pattern",
+    "classify_forest",
+    "classify_family",
+    "FamilyClassification",
+]

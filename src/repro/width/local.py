@@ -1,0 +1,55 @@
+"""Local tractability (Letelier et al.), the baseline tractable restriction.
+
+A class ``C`` is *locally tractable* when there is a constant ``k`` such
+that for every pattern, every non-root node ``n`` of every tree of its wdPF
+satisfies ``ctw(pat(n), vars(n) ∩ vars(n')) ≤ k`` where ``n'`` is the parent
+of ``n``.  The corresponding per-pattern measure — the *local width* — is
+computed here.  The paper shows bounded domination width strictly
+generalises bounded local width (Example 5 and the Section 3.2 family), a
+gap exercised by the E2/E5/E8 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hom.tgraph import GeneralizedTGraph
+from ..hom.treewidth import ctw
+from ..patterns.build import wdpf
+from ..patterns.forest import WDPatternForest
+from ..patterns.tree import WDPatternTree
+from ..sparql.algebra import GraphPattern
+
+__all__ = ["local_node_gtgraph", "local_width", "local_width_of_forest", "local_width_of_pattern"]
+
+
+def local_node_gtgraph(tree: WDPatternTree, node: int) -> GeneralizedTGraph:
+    """The generalised t-graph ``(pat(n), vars(n) ∩ vars(n'))`` of a non-root node."""
+    parent = tree.parent_of(node)
+    if parent is None:
+        raise ValueError("the root has no local t-graph")
+    shared = tree.vars(node) & tree.vars(parent)
+    return GeneralizedTGraph(tree.pat(node), shared)
+
+
+def local_width(tree: WDPatternTree, per_node: Optional[Dict[int, int]] = None) -> int:
+    """The local width of a single wdPT (at least 1)."""
+    width = 1
+    for node in tree.node_ids():
+        if node == tree.root:
+            continue
+        node_width = max(1, ctw(local_node_gtgraph(tree, node)))
+        if per_node is not None:
+            per_node[node] = node_width
+        width = max(width, node_width)
+    return width
+
+
+def local_width_of_forest(forest: WDPatternForest) -> int:
+    """The local width of a forest: the maximum over its trees."""
+    return max(local_width(tree) for tree in forest)
+
+
+def local_width_of_pattern(pattern: GraphPattern) -> int:
+    """The local width of a well-designed graph pattern via its wdPF."""
+    return local_width_of_forest(wdpf(pattern))

@@ -1,0 +1,58 @@
+"""Workload generators: the paper's query families, random well-designed
+patterns and CLIQUE instances."""
+
+from .families import (
+    example1_patterns,
+    example2_pattern,
+    kk_tgraph,
+    example3_gtgraphs,
+    fk_forest,
+    fk_pattern,
+    tprime_tree,
+    tprime_pattern,
+    hard_clique_tree,
+    hard_clique_pattern,
+    chain_tree,
+    chain_pattern,
+    fk_data_graph,
+    tprime_data_graph,
+    clique_query_data_graph,
+)
+from .random_patterns import (
+    random_wd_tree,
+    random_wd_forest,
+    random_wd_pattern,
+    random_union_pattern,
+)
+from .clique_instances import (
+    random_host_graph,
+    plant_clique,
+    clique_instance,
+    has_clique_bruteforce,
+)
+
+__all__ = [
+    "example1_patterns",
+    "example2_pattern",
+    "kk_tgraph",
+    "example3_gtgraphs",
+    "fk_forest",
+    "fk_pattern",
+    "tprime_tree",
+    "tprime_pattern",
+    "hard_clique_tree",
+    "hard_clique_pattern",
+    "chain_tree",
+    "chain_pattern",
+    "fk_data_graph",
+    "tprime_data_graph",
+    "clique_query_data_graph",
+    "random_wd_tree",
+    "random_wd_forest",
+    "random_wd_pattern",
+    "random_union_pattern",
+    "random_host_graph",
+    "plant_clique",
+    "clique_instance",
+    "has_clique_bruteforce",
+]

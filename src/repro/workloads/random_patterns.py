@@ -1,0 +1,121 @@
+"""Random well-designed pattern generators.
+
+Random wdPTs are generated directly as trees (which guarantees
+well-designedness, NR normal form and the variable-connectivity condition by
+construction) and can then be serialised back into AND/OPT graph patterns.
+They are used by the property-based tests (semantics equivalence across the
+three engines, Proposition 5) and by the E6 benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..patterns.build import pattern_of_forest, pattern_of_tree
+from ..patterns.forest import WDPatternForest
+from ..patterns.tree import WDPatternTree
+from ..rdf.namespace import EX
+from ..sparql.algebra import GraphPattern
+from ..hom.tgraph import TGraph
+
+#: Default predicate vocabulary, aligned with :mod:`repro.rdf.generators` so
+#: that random patterns have matches in randomly generated graphs.
+DEFAULT_PREDICATES = (EX.term("p").value, EX.term("q").value, EX.term("r").value)
+
+__all__ = [
+    "random_wd_tree",
+    "random_wd_forest",
+    "random_wd_pattern",
+    "random_union_pattern",
+]
+
+
+def random_wd_tree(
+    num_nodes: int = 4,
+    max_triples_per_node: int = 2,
+    max_fresh_vars_per_node: int = 2,
+    predicates: Tuple[str, ...] = DEFAULT_PREDICATES,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> WDPatternTree:
+    """A random wdPT in NR normal form.
+
+    Each node introduces at least one fresh variable (which keeps the tree in
+    NR normal form) and may only reuse variables occurring in its *parent's*
+    label.  Because fresh variables are globally unique, every variable's
+    occurrence set is then upward-closed towards its introducing node, which
+    guarantees the variable-connectivity condition of wdPTs.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    rng = rng or random.Random(seed)
+    var_counter = 0
+
+    def fresh_var() -> str:
+        nonlocal var_counter
+        var_counter += 1
+        return f"?v{var_counter}"
+
+    labels: Dict[int, TGraph] = {}
+    parent: Dict[int, int] = {}
+    node_vars: Dict[int, List[str]] = {}
+
+    for node in range(num_nodes):
+        if node == 0:
+            reusable: List[str] = []
+        else:
+            parent_node = rng.randrange(node)
+            parent[node] = parent_node
+            reusable = list(node_vars[parent_node])
+        fresh = [fresh_var() for _ in range(rng.randint(1, max_fresh_vars_per_node))]
+        usable = reusable + fresh
+        triples: List[Tuple[str, str, str]] = []
+        # The first triple links the node to its parent's variables whenever
+        # possible and always uses the first fresh variable, so the node both
+        # depends on its branch and satisfies NR normal form.
+        first_subject = rng.choice(reusable) if reusable else rng.choice(fresh)
+        triples.append((first_subject, rng.choice(predicates), fresh[0]))
+        for _ in range(rng.randint(0, max_triples_per_node - 1)):
+            triples.append((rng.choice(usable), rng.choice(predicates), rng.choice(usable)))
+        labels[node] = TGraph.of(*triples)
+        used_terms = {term for t in triples for term in t}
+        node_vars[node] = [v for v in usable if v in used_terms]
+
+    tree = WDPatternTree(labels, parent, root=0)
+    return tree.to_nr_normal_form()
+
+
+def random_wd_forest(
+    num_trees: int = 2,
+    num_nodes: int = 3,
+    seed: Optional[int] = None,
+    **tree_kwargs,
+) -> WDPatternForest:
+    """A random wdPF made of independent random wdPTs."""
+    rng = random.Random(seed)
+    trees = [
+        random_wd_tree(num_nodes=num_nodes, rng=rng, **tree_kwargs) for _ in range(num_trees)
+    ]
+    return WDPatternForest(trees)
+
+
+def random_wd_pattern(
+    num_nodes: int = 4,
+    seed: Optional[int] = None,
+    **tree_kwargs,
+) -> GraphPattern:
+    """A random UNION-free well-designed graph pattern."""
+    return pattern_of_tree(random_wd_tree(num_nodes=num_nodes, seed=seed, **tree_kwargs))
+
+
+def random_union_pattern(
+    num_trees: int = 2,
+    num_nodes: int = 3,
+    seed: Optional[int] = None,
+    **tree_kwargs,
+) -> GraphPattern:
+    """A random well-designed pattern with a top-level UNION."""
+    return pattern_of_forest(
+        random_wd_forest(num_trees=num_trees, num_nodes=num_nodes, seed=seed, **tree_kwargs)
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.namespace import EX
+
+
+@pytest.fixture
+def small_graph() -> RDFGraph:
+    """A tiny hand-written RDF graph used across several test modules.
+
+    Edges (subject --predicate--> object)::
+
+        a --p--> b      b --q--> c      c --r--> a
+        a --p--> c      b --q--> a      d --r--> d
+    """
+    return RDFGraph(
+        [
+            Triple.of(EX.a, EX.p, EX.b),
+            Triple.of(EX.a, EX.p, EX.c),
+            Triple.of(EX.b, EX.q, EX.c),
+            Triple.of(EX.b, EX.q, EX.a),
+            Triple.of(EX.c, EX.r, EX.a),
+            Triple.of(EX.d, EX.r, EX.d),
+        ]
+    )
+
+
+def ex(name: str) -> str:
+    """Shorthand for the example-namespace IRI string."""
+    return EX.term(name).value

@@ -1,0 +1,135 @@
+"""Unit tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.io import save_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = RDFGraph(
+        [
+            Triple.of("http://example.org/alice", "http://example.org/knows", "http://example.org/bob"),
+            Triple.of("http://example.org/bob", "http://example.org/email", "http://example.org/bob-mail"),
+        ]
+    )
+    path = tmp_path / "data.nt"
+    save_graph(graph, path)
+    return str(path)
+
+
+QUERY = "((?x <http://example.org/knows> ?y) OPT (?y <http://example.org/email> ?e))"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_arguments(self):
+        args = build_parser().parse_args(["evaluate", "--graph", "g.nt", "--query", "(?x p ?y)"])
+        assert args.command == "evaluate"
+        assert args.method == "natural"
+
+
+class TestEvaluateCommand:
+    def test_lists_solutions(self, graph_file, capsys):
+        exit_code = main(["evaluate", "--graph", graph_file, "--query", QUERY])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "# 1 solution(s)" in out
+        assert "?x=<http://example.org/alice>" in out
+
+    def test_naive_method(self, graph_file, capsys):
+        exit_code = main(["evaluate", "--graph", graph_file, "--query", QUERY, "--method", "naive"])
+        assert exit_code == 0
+        assert "1 solution" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_membership_positive(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "check",
+                "--graph",
+                graph_file,
+                "--query",
+                QUERY,
+                "--binding",
+                "x=http://example.org/alice",
+                "--binding",
+                "y=http://example.org/bob",
+                "--binding",
+                "e=http://example.org/bob-mail",
+            ]
+        )
+        assert exit_code == 0
+        assert "IN" in capsys.readouterr().out
+
+    def test_membership_negative(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "check",
+                "--graph",
+                graph_file,
+                "--query",
+                QUERY,
+                "--binding",
+                "x=http://example.org/alice",
+                "--binding",
+                "y=http://example.org/bob",
+            ]
+        )
+        assert exit_code == 1
+        assert "NOT-IN" in capsys.readouterr().out
+
+    def test_pebble_method_with_width(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "check",
+                "--graph",
+                graph_file,
+                "--query",
+                QUERY,
+                "--method",
+                "pebble",
+                "--width",
+                "1",
+                "--binding",
+                "x=http://example.org/alice",
+                "--binding",
+                "y=http://example.org/bob",
+                "--binding",
+                "e=http://example.org/bob-mail",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_malformed_binding_reports_error(self, graph_file, capsys):
+        exit_code = main(
+            ["check", "--graph", graph_file, "--query", QUERY, "--binding", "nonsense"]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestClassifyAndValidate:
+    def test_classify_reports_widths(self, capsys):
+        exit_code = main(["classify", "--query", QUERY])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "domination width : 1" in out
+        assert "PTIME" in out
+
+    def test_validate_well_designed(self, capsys):
+        exit_code = main(["validate", "--query", QUERY])
+        assert exit_code == 0
+        assert "well-designed" in capsys.readouterr().out
+
+    def test_validate_detects_violation(self, capsys):
+        bad = "(((?x p ?y) OPT (?z q ?x)) OPT ((?y r ?z) AND (?z r ?w)))"
+        exit_code = main(["validate", "--query", bad])
+        assert exit_code == 1
+        assert "NOT well-designed" in capsys.readouterr().out

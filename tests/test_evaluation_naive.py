@@ -1,0 +1,92 @@
+"""Unit tests for the naive compositional evaluator (the reference semantics)."""
+
+import pytest
+
+from repro.evaluation import evaluate_pattern, pattern_contains
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Variable
+from repro.sparql import Mapping, parse_pattern
+
+
+@pytest.fixture
+def people_graph() -> RDFGraph:
+    """alice knows bob and carol; bob has an email; carol does not."""
+    return RDFGraph(
+        [
+            Triple.of(EX.alice, EX.knows, EX.bob),
+            Triple.of(EX.alice, EX.knows, EX.carol),
+            Triple.of(EX.bob, EX.email, EX.bob_mail),
+        ]
+    )
+
+
+def knows_pattern(text: str):
+    return parse_pattern(text.replace("knows", EX.knows.value).replace("email", EX.email.value))
+
+
+class TestTriplePatterns:
+    def test_single_triple(self, people_graph):
+        result = evaluate_pattern(knows_pattern("(?x knows ?y)"), people_graph)
+        assert len(result) == 2
+
+    def test_ground_triple_present(self, people_graph):
+        pattern = parse_pattern(f"({EX.alice.value} {EX.knows.value} {EX.bob.value})")
+        assert evaluate_pattern(pattern, people_graph) == {Mapping.EMPTY}
+
+    def test_ground_triple_absent(self, people_graph):
+        pattern = parse_pattern(f"({EX.bob.value} {EX.knows.value} {EX.alice.value})")
+        assert evaluate_pattern(pattern, people_graph) == set()
+
+
+class TestOperators:
+    def test_and_joins_compatible_mappings(self, people_graph):
+        result = evaluate_pattern(knows_pattern("((?x knows ?y) AND (?y email ?e))"), people_graph)
+        assert len(result) == 1
+        mapping = next(iter(result))
+        assert mapping[Variable("y")] == EX.bob
+
+    def test_opt_keeps_unmatched_left_solutions(self, people_graph):
+        result = evaluate_pattern(knows_pattern("((?x knows ?y) OPT (?y email ?e))"), people_graph)
+        assert len(result) == 2
+        domains = {frozenset(v.name for v in mapping.domain()) for mapping in result}
+        assert frozenset({"x", "y", "e"}) in domains  # bob extended
+        assert frozenset({"x", "y"}) in domains  # carol not extended
+
+    def test_union_combines(self, people_graph):
+        result = evaluate_pattern(
+            knows_pattern("(?x knows ?y) UNION (?x email ?y)"), people_graph
+        )
+        assert len(result) == 3
+
+    def test_opt_with_unsatisfiable_right(self, people_graph):
+        result = evaluate_pattern(
+            knows_pattern("((?x knows ?y) OPT (?y knows ?z))"), people_graph
+        )
+        # neither bob nor carol knows anyone: all solutions stay unextended
+        assert all(Variable("z") not in mapping for mapping in result)
+
+    def test_nested_opt_example1(self, people_graph):
+        from repro.workloads.families import example1_patterns
+
+        p1, _ = example1_patterns()
+        # over an unrelated graph, the pattern has no solutions (predicate p absent)
+        assert evaluate_pattern(p1, people_graph) == set()
+
+
+class TestMembership:
+    def test_pattern_contains_positive(self, people_graph):
+        pattern = knows_pattern("((?x knows ?y) OPT (?y email ?e))")
+        mu = Mapping({Variable("x"): EX.alice, Variable("y"): EX.carol})
+        assert pattern_contains(pattern, people_graph, mu)
+
+    def test_pattern_contains_negative_not_maximal(self, people_graph):
+        """A mapping that could be extended (bob has an email) is not a solution."""
+        pattern = knows_pattern("((?x knows ?y) OPT (?y email ?e))")
+        mu = Mapping({Variable("x"): EX.alice, Variable("y"): EX.bob})
+        assert not pattern_contains(pattern, people_graph, mu)
+
+    def test_pattern_contains_wrong_value(self, people_graph):
+        pattern = knows_pattern("(?x knows ?y)")
+        mu = Mapping({Variable("x"): EX.bob, Variable("y"): EX.alice})
+        assert not pattern_contains(pattern, people_graph, mu)

@@ -1,0 +1,122 @@
+"""Unit tests for the Theorem 1 evaluation algorithm (pebble relaxation)."""
+
+import itertools
+
+import pytest
+
+from repro.evaluation import (
+    evaluate_pattern,
+    forest_contains,
+    forest_contains_pebble,
+    tree_contains_pebble,
+)
+from repro.patterns import WDPatternForest, wdpf
+from repro.sparql import Mapping
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Variable
+from repro.workloads.families import (
+    fk_data_graph,
+    fk_forest,
+    fk_pattern,
+    hard_clique_tree,
+    clique_query_data_graph,
+    tprime_data_graph,
+    tprime_pattern,
+)
+from repro.workloads.clique_instances import random_host_graph
+
+
+class TestSoundness:
+    """The algorithm is sound on every input: accept implies membership."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("width", [1, 2])
+    def test_accepts_only_solutions_on_fk(self, k, width):
+        pattern = fk_pattern(k)
+        forest = wdpf(pattern)
+        graph = fk_data_graph(5, 25, clique_size=k, seed=k)
+        truth = evaluate_pattern(pattern, graph)
+        domains = {frozenset(mu.domain()) for mu in truth}
+        nodes = sorted(graph.domain(), key=str)[:3]
+        for domain in list(domains)[:2]:
+            variables = sorted(domain, key=lambda v: v.name)
+            for values in itertools.islice(itertools.product(nodes, repeat=len(variables)), 8):
+                mu = Mapping(dict(zip(variables, values)))
+                if forest_contains_pebble(forest, graph, mu, width):
+                    assert mu in truth
+
+    def test_soundness_on_unbounded_width_family(self):
+        """Even on the hard family Q_k (where completeness may fail for small k),
+        the pebble algorithm never accepts a non-solution."""
+        tree = hard_clique_tree(3)
+        forest = WDPatternForest([tree])
+        host = random_host_graph(6, 0.6, seed=1)
+        graph = clique_query_data_graph(host)
+        truth_engine = lambda mu: forest_contains(forest, graph, mu)
+        anchors = [t for t in graph.matches(next(iter(forest[0].pat(0))))]
+        for triple in anchors[:3]:
+            mu = Mapping({Variable("x"): triple.subject, Variable("y"): triple.object})
+            if forest_contains_pebble(forest, graph, mu, 1):
+                assert truth_engine(mu)
+
+
+class TestCompleteness:
+    """Exactness when the width parameter bounds the domination width (Theorem 1)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_exact_on_fk_with_width_one(self, k):
+        forest = fk_forest(k)
+        graph = fk_data_graph(6, 30, clique_size=k, seed=k)
+        truth = {
+            mu
+            for mu in evaluate_pattern(fk_pattern(k), graph)
+        }
+        # check a sample of solutions and perturbed non-solutions
+        for mu in sorted(truth, key=repr)[:5]:
+            assert forest_contains_pebble(forest, graph, mu, 1)
+            assert forest_contains(forest, graph, mu)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exact_on_tprime_with_width_one(self, k):
+        pattern = tprime_pattern(k)
+        forest = wdpf(pattern)
+        graph = tprime_data_graph(8, 30, seed=k)
+        truth = evaluate_pattern(pattern, graph)
+        nodes = sorted(graph.domain(), key=str)[:4]
+        for value in nodes:
+            mu = Mapping({Variable("y"): value})
+            expected = mu in truth
+            assert forest_contains_pebble(forest, graph, mu, 1) == expected
+
+    def test_larger_width_parameter_recovers_exactness_on_hard_family(self):
+        """On Q_k, running the pebble algorithm with width k-1 (its true
+        domination width) is exact."""
+        k = 3
+        tree = hard_clique_tree(k)
+        forest = WDPatternForest([tree])
+        host = random_host_graph(5, 0.7, seed=2)
+        graph = clique_query_data_graph(host)
+        anchor = EX.term("anchor")
+        targets = [t.object for t in graph.matches(next(iter(tree.pat(0))))]
+        for target in targets:
+            mu = Mapping({Variable("x"): anchor, Variable("y"): target})
+            exact = forest_contains(forest, graph, mu)
+            assert forest_contains_pebble(forest, graph, mu, k - 1) == exact
+
+
+class TestParameterValidation:
+    def test_width_must_be_positive(self):
+        forest = fk_forest(2)
+        graph = fk_data_graph(4, 10, seed=0)
+        with pytest.raises(ValueError):
+            forest_contains_pebble(forest, graph, Mapping.EMPTY, 0)
+
+    def test_tree_level_entry_point(self):
+        forest = fk_forest(2)
+        graph = fk_data_graph(4, 16, clique_size=2, seed=3)
+        mu_candidates = [
+            Mapping({Variable("x"): t.subject, Variable("y"): t.object})
+            for t in list(graph.matches(next(iter(forest[0].pat(0)))))[:2]
+        ]
+        for mu in mu_candidates:
+            assert tree_contains_pebble(forest[0], graph, mu, 1) in (True, False)

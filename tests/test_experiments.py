@@ -1,0 +1,85 @@
+"""Unit tests for the experiment harness (small-scale runs of E1-E9)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    experiment_e1_figure1_cores,
+    experiment_e2_figure2_widths,
+    experiment_e3_figure3_domination,
+    experiment_e5_unionfree_family,
+    experiment_e6_prop5_dw_equals_bw,
+    experiment_e8_local_vs_domination,
+    run_experiment,
+    time_callable,
+)
+
+
+class TestHarness:
+    def test_registry_contains_all_experiments(self):
+        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} <= set(EXPERIMENT_REGISTRY)
+
+    def test_run_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("E42")
+
+    def test_result_table_rendering(self):
+        result = ExperimentResult(
+            experiment_id="X", title="demo", claim="none", columns=["a", "b"]
+        )
+        result.add_row(a=1, b=2.5)
+        result.add_note("a note")
+        text = result.to_text()
+        assert "demo" in text and "2.5000" in text and "a note" in text
+
+    def test_time_callable_returns_result(self):
+        elapsed, value = time_callable(lambda: 41 + 1, repeat=2)
+        assert value == 42 and elapsed >= 0.0
+
+
+class TestExperimentsSmallScale:
+    def test_e1_matches_paper(self):
+        result = experiment_e1_figure1_cores(ks=(2, 3))
+        for row in result.rows:
+            assert row["ctw(S,X)"] == row["expected"]
+            assert row["ctw(S',X)"] == 1
+            assert row["tw(S',X)"] == row["expected tw"]
+
+    def test_e2_matches_paper(self):
+        result = experiment_e2_figure2_widths(ks=(2, 3))
+        for row in result.rows:
+            assert row["dw(F_k)"] == 1
+            assert row["local width"] == row["expected local"]
+
+    def test_e3_domination_holds(self):
+        result = experiment_e3_figure3_domination(ks=(2, 3))
+        assert all(row["1-dominated"] for row in result.rows)
+
+    def test_e5_union_free_family(self):
+        result = experiment_e5_unionfree_family(ks=(2, 3), graph_size=8)
+        for row in result.rows:
+            assert row["bw"] == 1 and row["dw (forest)"] == 1 and row["agreement"]
+
+    def test_e6_proposition5(self):
+        result = experiment_e6_prop5_dw_equals_bw(num_patterns=4, num_nodes=3, seed=1)
+        assert all(row["equal"] for row in result.rows)
+
+    def test_e8_gap_table(self):
+        result = experiment_e8_local_vs_domination(ks=(2, 3))
+        fk_rows = [row for row in result.rows if row["family"] == "F_k"]
+        assert all(row["dw / bw"] == 1 for row in fk_rows)
+        assert any(row["local width"] > 1 for row in fk_rows)
+
+    def test_e4_small_run_agrees(self):
+        result = run_experiment("E4", ks=(2,), graph_sizes=(8,), triples_per_node=4)
+        assert all(row["agreement"] for row in result.rows)
+
+    def test_e7_small_run_correct(self):
+        result = run_experiment("E7", ks=(2,), host_sizes=(5,))
+        assert all(row["correct"] for row in result.rows)
+
+    def test_e9_produces_rows_for_both_families(self):
+        result = run_experiment("E9", bounded_ks=(2,), unbounded_ks=(2,), graph_size=8)
+        families = {row["family"] for row in result.rows}
+        assert len(families) == 2

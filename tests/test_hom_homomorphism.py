@@ -1,0 +1,141 @@
+"""Unit tests for the homomorphism search engine."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.hom import (
+    GeneralizedTGraph,
+    TGraph,
+    all_homomorphisms,
+    extends_into,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphism_count,
+    maps_into,
+    maps_to,
+)
+from repro.rdf.generators import clique_graph, cycle_graph, path_graph
+from repro.rdf.namespace import EX
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.terms import Variable
+from repro.sparql.mappings import Mapping
+
+EDGE = EX.term("edge").value
+
+
+def edge_tgraph(*pairs):
+    return TGraph.of(*[(f"?{a}", EDGE, f"?{b}") for a, b in pairs])
+
+
+class TestBasicHomomorphisms:
+    def test_triangle_into_clique(self):
+        triangle = edge_tgraph(("a", "b"), ("b", "c"), ("c", "a"))
+        assert has_homomorphism(triangle, clique_graph(4))
+
+    def test_triangle_not_into_directed_square(self):
+        triangle = edge_tgraph(("a", "b"), ("b", "c"), ("c", "a"))
+        assert not has_homomorphism(triangle, cycle_graph(4))
+
+    def test_triangle_into_directed_triangle(self):
+        triangle = edge_tgraph(("a", "b"), ("b", "c"), ("c", "a"))
+        assert has_homomorphism(triangle, cycle_graph(3))
+
+    def test_path_folds_into_single_edge_graph(self):
+        path = edge_tgraph(("a", "b"), ("b", "c"), ("c", "d"))
+        # a directed path cannot fold into one edge a->b (needs alternation),
+        # but it can fold into a 2-cycle
+        two_cycle = cycle_graph(2)
+        assert has_homomorphism(path, two_cycle)
+        single_edge = path_graph(1)
+        assert not has_homomorphism(path, single_edge)
+
+    def test_homomorphism_domain_is_all_variables(self):
+        path = edge_tgraph(("a", "b"), ("b", "c"))
+        hom = find_homomorphism(path, clique_graph(3))
+        assert hom is not None
+        assert set(hom) == path.variables()
+
+    def test_constants_map_to_themselves(self):
+        node0 = EX.term("node0").value
+        source = TGraph.of((node0, EDGE, "?x"))
+        target = path_graph(2)
+        hom = find_homomorphism(source, target)
+        assert hom is not None
+        assert hom[Variable("x")] == EX.term("node1")
+
+    def test_constant_missing_from_target(self):
+        source = TGraph.of(("nowhere", EDGE, "?x"))
+        assert not has_homomorphism(source, path_graph(2))
+
+    def test_count_edge_into_k3(self):
+        assert homomorphism_count(edge_tgraph(("a", "b")), clique_graph(3)) == 6
+
+    def test_all_homomorphisms_are_distinct(self):
+        homs = list(all_homomorphisms(edge_tgraph(("a", "b")), clique_graph(3)))
+        assert len({tuple(sorted((v.name, str(t)) for v, t in h.items())) for h in homs}) == 6
+
+    def test_empty_source_has_trivial_homomorphism(self):
+        assert has_homomorphism(TGraph(), clique_graph(2))
+
+    def test_fixed_bindings_respected(self):
+        fixed = {Variable("a"): EX.term("node0")}
+        hom = find_homomorphism(edge_tgraph(("a", "b")), path_graph(2), fixed)
+        assert hom is not None and hom[Variable("a")] == EX.term("node0")
+
+    def test_fixed_bindings_can_make_it_fail(self):
+        fixed = {Variable("a"): EX.term("node2")}  # node2 has no outgoing edge
+        assert not has_homomorphism(edge_tgraph(("a", "b")), path_graph(2), fixed)
+
+    def test_repeated_variable_in_triple(self):
+        loop = TGraph.of(("?x", EDGE, "?x"))
+        assert not has_homomorphism(loop, path_graph(3))
+        looped = RDFGraph([Triple.of("a", EDGE, "a")])
+        assert has_homomorphism(loop, looped)
+
+    def test_target_can_be_tgraph_with_variables(self):
+        source = TGraph.of(("?a", "p", "?b"))
+        target = TGraph.of(("?x", "p", "?y"), ("?y", "p", "?z"))
+        assert has_homomorphism(source, target)
+
+
+class TestGeneralizedRelations:
+    def test_maps_to_fixes_distinguished(self):
+        source = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        target_same = GeneralizedTGraph.of([("?x", "p", "?z"), ("?x", "q", "?w")], ["x"])
+        assert maps_to(source, target_same)
+
+    def test_maps_to_fails_when_distinguished_would_have_to_move(self):
+        source = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        target = GeneralizedTGraph.of([("?z", "p", "?x")], ["x"])
+        assert not maps_to(source, target)
+
+    def test_maps_to_requires_same_distinguished(self):
+        a = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        b = GeneralizedTGraph.of([("?x", "p", "?y")], ["y"])
+        with pytest.raises(EvaluationError):
+            maps_to(a, b)
+
+    def test_maps_into_respects_mu(self):
+        source = GeneralizedTGraph.of([("?x", EDGE, "?y")], ["x"])
+        graph = path_graph(2)
+        good = Mapping({Variable("x"): EX.term("node0")})
+        bad = Mapping({Variable("x"): EX.term("node2")})
+        assert maps_into(source, graph, good)
+        assert not maps_into(source, graph, bad)
+
+    def test_maps_into_requires_matching_domain(self):
+        source = GeneralizedTGraph.of([("?x", EDGE, "?y")], ["x"])
+        with pytest.raises(EvaluationError):
+            maps_into(source, path_graph(2), Mapping({Variable("z"): EX.term("node0")}))
+
+    def test_extends_into_compatible_extension(self):
+        graph = path_graph(3)
+        mu = Mapping({Variable("y"): EX.term("node1")})
+        extension = extends_into(TGraph.of(("?y", EDGE, "?z")), graph, mu)
+        assert extension is not None
+        assert extension[Variable("z")] == EX.term("node2")
+
+    def test_extends_into_none_when_incompatible(self):
+        graph = path_graph(3)
+        mu = Mapping({Variable("y"): EX.term("node3")})  # last node: no outgoing edge
+        assert extends_into(TGraph.of(("?y", EDGE, "?z")), graph, mu) is None

@@ -1,0 +1,113 @@
+"""Unit tests for t-graphs and generalised t-graphs."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.hom.tgraph import GeneralizedTGraph, TGraph, freeze_tgraph, fresh_variable_renaming
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.terms import IRI, Variable
+
+
+class TestTGraph:
+    def test_of_and_len(self):
+        s = TGraph.of(("?x", "p", "?y"), ("?y", "p", "?z"))
+        assert len(s) == 2
+
+    def test_variables_and_constants(self):
+        s = TGraph.of(("?x", "p", "a"), ("?y", "q", "?x"))
+        assert s.variables() == {Variable("x"), Variable("y")}
+        assert IRI("a") in s.constants()
+
+    def test_deduplication(self):
+        s = TGraph.of(("?x", "p", "?y"), ("?x", "p", "?y"))
+        assert len(s) == 1
+
+    def test_union_and_difference(self):
+        s1 = TGraph.of(("?x", "p", "?y"))
+        s2 = TGraph.of(("?y", "q", "?z"))
+        assert len(s1.union(s2)) == 2
+        assert s1.union(s2).difference(s2) == s1
+
+    def test_subset_relations(self):
+        s1 = TGraph.of(("?x", "p", "?y"))
+        s2 = TGraph.of(("?x", "p", "?y"), ("?y", "q", "?z"))
+        assert s1.issubset(s2)
+        assert s1.is_proper_subset(s2)
+        assert not s2.is_proper_subset(s2)
+
+    def test_ground_conversion(self):
+        s = TGraph.of(("a", "p", "b"))
+        assert s.is_ground()
+        assert isinstance(s.to_rdf_graph(), RDFGraph)
+
+    def test_non_ground_conversion_raises(self):
+        with pytest.raises(ReproError):
+            TGraph.of(("?x", "p", "b")).to_rdf_graph()
+
+    def test_from_rdf_graph(self):
+        g = RDFGraph([Triple.of("a", "p", "b")])
+        assert len(TGraph.from_rdf_graph(g)) == 1
+
+    def test_substitution_and_rename(self):
+        s = TGraph.of(("?x", "p", "?y"))
+        renamed = s.rename({Variable("x"): Variable("z")})
+        assert renamed.variables() == {Variable("z"), Variable("y")}
+
+    def test_equality_and_hash(self):
+        assert TGraph.of(("?x", "p", "?y")) == TGraph.of(("?x", "p", "?y"))
+        assert len({TGraph.of(("?x", "p", "?y")), TGraph.of(("?x", "p", "?y"))}) == 1
+
+
+class TestGeneralizedTGraph:
+    def test_distinguished_must_occur(self):
+        with pytest.raises(ReproError):
+            GeneralizedTGraph.of([("?x", "p", "?y")], ["z"])
+
+    def test_existential_variables(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y"), ("?y", "p", "?z")], ["x"])
+        assert g.existential_variables() == {Variable("y"), Variable("z")}
+
+    def test_subgraph(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y"), ("?y", "p", "?z")], ["x"])
+        sub = g.subgraph([t for t in g.triples() if Variable("z") not in t.variables()])
+        assert len(sub.triples()) == 1
+
+    def test_subgraph_requires_subset(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        with pytest.raises(ReproError):
+            g.subgraph(TGraph.of(("?a", "p", "?b")))
+
+    def test_is_subgraph_of(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y"), ("?y", "p", "?z")], ["x"])
+        sub = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        assert sub.is_subgraph_of(g)
+        assert not g.is_subgraph_of(sub)
+
+    def test_with_distinguished(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        g2 = g.with_distinguished({Variable("x"), Variable("y")})
+        assert g2.distinguished == {Variable("x"), Variable("y")}
+
+    def test_equality(self):
+        a = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        b = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        c = GeneralizedTGraph.of([("?x", "p", "?y")], ["y"])
+        assert a == b and a != c
+
+
+class TestHelpers:
+    def test_fresh_variable_renaming_avoids_collisions(self):
+        variables = {Variable("a"), Variable("b")}
+        avoid = {Variable("a"), Variable("fresh_a_0")}
+        renaming = fresh_variable_renaming(variables, avoid)
+        assert set(renaming) == variables
+        assert not (set(renaming.values()) & (variables | avoid))
+        assert len(set(renaming.values())) == 2
+
+    def test_freeze_tgraph(self):
+        s = TGraph.of(("?x", "p", "?y"), ("?y", "q", "a"))
+        graph, freezing = freeze_tgraph(s)
+        assert len(graph) == 2
+        assert set(freezing) == s.variables()
+        # Constants survive freezing untouched.
+        assert any(t.object == IRI("a") for t in graph)

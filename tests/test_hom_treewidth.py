@@ -1,0 +1,123 @@
+"""Unit tests for treewidth computation and the paper's tw/ctw measures."""
+
+import networkx as nx
+import pytest
+
+from repro.hom import (
+    GeneralizedTGraph,
+    ctw,
+    tree_decomposition,
+    treewidth,
+    treewidth_exact,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+    tw,
+)
+from repro.hom.gaifman import gaifman_graph
+from repro.workloads.families import kk_tgraph
+
+
+class TestExactTreewidth:
+    def test_empty_graph(self):
+        assert treewidth_exact(nx.Graph()) == 0
+
+    def test_edgeless_graph(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        assert treewidth_exact(g) == 0
+
+    def test_tree_has_treewidth_one(self):
+        assert treewidth_exact(nx.balanced_tree(2, 3)) == 1
+
+    def test_path(self):
+        assert treewidth_exact(nx.path_graph(6)) == 1
+
+    def test_cycle_has_treewidth_two(self):
+        assert treewidth_exact(nx.cycle_graph(6)) == 2
+
+    def test_clique(self):
+        assert treewidth_exact(nx.complete_graph(5)) == 4
+
+    def test_grid(self):
+        assert treewidth_exact(nx.grid_2d_graph(3, 3)) == 3
+
+    def test_disconnected_components_take_maximum(self):
+        g = nx.disjoint_union(nx.complete_graph(4), nx.path_graph(4))
+        assert treewidth_exact(g) == 3
+
+    def test_complete_bipartite(self):
+        assert treewidth_exact(nx.complete_bipartite_graph(3, 3)) == 3
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            treewidth_exact(nx.cycle_graph(40))
+
+
+class TestBounds:
+    @pytest.mark.parametrize(
+        "graph",
+        [nx.cycle_graph(8), nx.complete_graph(6), nx.grid_2d_graph(3, 4), nx.petersen_graph()],
+    )
+    def test_bounds_bracket_exact(self, graph):
+        exact = treewidth_exact(graph)
+        assert treewidth_lower_bound(graph) <= exact <= treewidth_upper_bound(graph)
+
+    def test_upper_bound_zero_for_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert treewidth_upper_bound(g) == 0
+        assert treewidth_lower_bound(g) == 0
+
+    def test_treewidth_dispatches_to_exact_for_small(self):
+        assert treewidth(nx.complete_graph(5)) == 4
+
+    def test_treewidth_large_graph_uses_heuristic(self):
+        # A long cycle is larger than the exact threshold; the heuristic is exact on cycles.
+        assert treewidth(nx.cycle_graph(30)) == 2
+
+
+class TestDecomposition:
+    def test_decomposition_for_empty_graph(self):
+        width, tree = tree_decomposition(nx.Graph())
+        assert width == 0 and tree.number_of_nodes() == 1
+
+    def test_decomposition_bags_cover_edges(self):
+        graph = nx.cycle_graph(5)
+        width, decomposition = tree_decomposition(graph)
+        assert width >= 2
+        bags = list(decomposition.nodes())
+        for u, v in graph.edges():
+            assert any(u in bag and v in bag for bag in bags)
+
+
+class TestPaperMeasures:
+    def test_tw_convention_edgeless_is_one(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y")], ["x"])
+        # Gaifman graph has a single vertex (?y) and no edges.
+        assert tw(g) == 1
+
+    def test_tw_convention_no_vertices_is_one(self):
+        g = GeneralizedTGraph.of([("?x", "p", "?y")], ["x", "y"])
+        assert tw(g) == 1
+
+    def test_tw_of_clique_tgraph(self):
+        g = GeneralizedTGraph.of(kk_tgraph(5), [])
+        assert tw(g) == 4
+
+    def test_ctw_collapsing_example(self):
+        # A "crown" of redundant paths around a single path: core is the path.
+        triples = [("?x", "p", "?y"), ("?y", "p", "?z"), ("?x", "p", "?y2"), ("?y2", "p", "?z2")]
+        g = GeneralizedTGraph.of(triples, ["x"])
+        assert ctw(g) == 1
+
+    def test_ctw_le_tw(self):
+        from repro.workloads.families import example3_gtgraphs
+
+        _, s_prime = example3_gtgraphs(4)
+        assert ctw(s_prime) <= tw(s_prime)
+
+    def test_distinguished_variables_excluded_from_gaifman(self):
+        g = GeneralizedTGraph.of(kk_tgraph(4), ["o1"])
+        graph = gaifman_graph(g)
+        assert graph.number_of_nodes() == 3
+        assert tw(g) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for supports, children assignments and GtG(T) (Section 3.1),
+checked against the worked Example 4 of the paper."""
+
+import pytest
+
+from repro.exceptions import PatternTreeError
+from repro.hom import ctw, maps_to
+from repro.patterns import (
+    ChildrenAssignment,
+    WDPatternForest,
+    children_assignments,
+    gtg,
+    is_valid_assignment,
+    s_delta,
+    support,
+    valid_children_assignments,
+    witness_subtree,
+)
+from repro.rdf.terms import Variable
+from repro.workloads.families import example3_gtgraphs, fk_forest
+
+
+@pytest.fixture(scope="module")
+def f3() -> WDPatternForest:
+    return fk_forest(3)
+
+
+class TestWitnessAndSupport:
+    def test_witness_subtree_exact_match(self, f3):
+        t1 = f3[0]
+        witness = witness_subtree(t1, frozenset({Variable("x"), Variable("y")}))
+        assert witness is not None and witness.nodes == {0}
+
+    def test_witness_subtree_none_when_variables_missing(self, f3):
+        t1 = f3[0]
+        assert witness_subtree(t1, frozenset({Variable("x")})) is None
+
+    def test_witness_subtree_grows_maximally(self, f3):
+        t1 = f3[0]
+        target = frozenset({Variable("x"), Variable("y"), Variable("z")})
+        witness = witness_subtree(t1, target)
+        assert witness is not None and witness.nodes == {0, 1}
+
+    def test_support_of_root_subtree(self, f3):
+        """Example 4: supp(T1[r1]) = {1, 2} (0-indexed: {0, 1})."""
+        subtree = f3[0].root_subtree()
+        supp = support(f3, subtree)
+        assert set(supp) == {0, 1}
+
+    def test_support_of_extended_subtree(self, f3):
+        """supp(T1[r1, n11]) contains T1 and T3 (vars {x, y, z})."""
+        subtree = f3[0].subtree({0, 1})
+        supp = support(f3, subtree)
+        assert set(supp) == {0, 2}
+        assert supp[2].nodes == {0}
+
+
+class TestChildrenAssignments:
+    def test_enumeration_for_root_subtree(self, f3):
+        subtree = f3[0].root_subtree()
+        assignments = list(children_assignments(f3, subtree))
+        # T1[r1] has 2 children in T1 and 1 child in T2: (2+1)*(1+1)-1 = 5
+        assert len(assignments) == 5
+
+    def test_assignment_domain_non_empty(self):
+        with pytest.raises(PatternTreeError):
+            ChildrenAssignment({})
+
+    def test_full_tree_has_no_assignments(self, f3):
+        subtree = f3[0].full_subtree()
+        assert list(children_assignments(f3, subtree)) == []
+
+    def test_s_delta_renames_private_variables(self, f3):
+        """Example 4: in S_Δ1 = pat(T1[r1]) ∪ ρ(n11) ∪ ρ(n2) the variable ?z of
+        one of the two q-children must be renamed apart."""
+        subtree = f3[0].root_subtree()
+        supp = support(f3, subtree)
+        delta1 = ChildrenAssignment({0: 1, 1: 1})  # n11 and n2
+        result = s_delta(f3, subtree, delta1, supp)
+        # pat = {(?x,p,?y)}, n11 = {(?z,q,?x)}, n2 = {(?z,q,?x),(?w,q,?z)}
+        # after renaming apart there are 4 distinct triples (not 3)
+        assert len(result.triples()) == 4
+        assert result.distinguished == {Variable("x"), Variable("y")}
+
+    def test_s_delta_rejects_bad_assignment(self, f3):
+        subtree = f3[0].root_subtree()
+        with pytest.raises(PatternTreeError):
+            s_delta(f3, subtree, ChildrenAssignment({0: 99}))
+
+    def test_invalid_assignment_detected(self, f3):
+        """Example 4: Δ3 = {1 -> n11} is not valid because T2's witness maps into S_Δ3."""
+        subtree = f3[0].root_subtree()
+        supp = support(f3, subtree)
+        delta3 = ChildrenAssignment({0: 1})  # only n11 chosen, tree T2 left out
+        assert not is_valid_assignment(f3, subtree, delta3, supp)
+
+    def test_valid_assignments_for_root_subtree(self, f3):
+        """Example 4: VCA(T1[r1]) = {Δ1, Δ2} with Δ1 = {1→n11, 2→n2}, Δ2 = {1→n12, 2→n2}."""
+        subtree = f3[0].root_subtree()
+        valid = list(valid_children_assignments(f3, subtree))
+        assert len(valid) == 2
+        domains = {frozenset(assignment.domain()) for assignment in valid}
+        assert domains == {frozenset({0, 1})}
+        chosen_children = {assignment[0] for assignment in valid}
+        assert chosen_children == {1, 2}  # n11 and n12
+
+
+class TestGtG:
+    def test_gtg_of_root_subtree_matches_example4(self, f3):
+        """GtG(T1[r1]) = {(S_Δ1, {x,y}), (S_Δ2, {x,y})} with ctw 1 and k-1."""
+        members = gtg(f3, f3[0].root_subtree())
+        assert len(members) == 2
+        widths = sorted(ctw(member) for member in members)
+        assert widths == [1, 2]  # k = 3 here, so k-1 = 2
+        low = min(members, key=ctw)
+        high = max(members, key=ctw)
+        assert maps_to(low, high)  # the width-1 member dominates
+
+    def test_gtg_of_t1_r1_n11_matches_figure1(self, f3):
+        """GtG(T1[r1, n11]) is the single generalised t-graph (S', {x,y,z}) of Figure 1."""
+        members = gtg(f3, f3[0].subtree({0, 1}))
+        assert len(members) == 1
+        member = next(iter(members))
+        _, s_prime = example3_gtgraphs(3)
+        assert member.distinguished == s_prime.distinguished
+        assert ctw(member) == 1
+        # Same number of triples as Figure 1's S' (modulo renaming of fresh variables).
+        assert len(member.triples()) == len(s_prime.triples())
+
+    def test_gtg_of_t2_equals_gtg_of_t1_root(self, f3):
+        """Example 4: GtG(T2[r2]) = GtG(T1[r1])."""
+        members_t1 = gtg(f3, f3[0].root_subtree())
+        members_t2 = gtg(f3, f3[1].root_subtree())
+        assert members_t1 == members_t2
+
+    def test_gtg_of_full_trees_is_empty(self, f3):
+        for tree in f3:
+            assert gtg(f3, tree.full_subtree()) == frozenset()

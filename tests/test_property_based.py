@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+paper's key invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.evaluation import evaluate_pattern, forest_contains, forest_contains_pebble, forest_solutions
+from repro.hom import GeneralizedTGraph, TGraph, core_of, ctw, has_homomorphism, is_core, maps_to, tw
+from repro.patterns import WDPatternForest, wdpf
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.namespace import EX
+from repro.rdf.terms import IRI, Variable
+from repro.sparql.mappings import Mapping
+from repro.width import branch_treewidth, domination_width
+from repro.workloads.random_patterns import random_wd_pattern, random_wd_tree
+
+
+# --- strategies -----------------------------------------------------------------
+
+_PREDICATES = [EX.term("p"), EX.term("q"), EX.term("r")]
+_NODES = [EX.term(f"n{i}") for i in range(4)]
+_VARIABLES = [Variable(name) for name in ("a", "b", "c", "d")]
+
+
+@st.composite
+def rdf_graphs(draw, max_triples: int = 12) -> RDFGraph:
+    triples = draw(
+        st.lists(
+            st.tuples(st.sampled_from(_NODES), st.sampled_from(_PREDICATES), st.sampled_from(_NODES)),
+            max_size=max_triples,
+        )
+    )
+    return RDFGraph(Triple(s, p, o) for s, p, o in triples)
+
+
+@st.composite
+def tgraphs(draw, max_triples: int = 5) -> TGraph:
+    terms = st.sampled_from(_VARIABLES + _NODES[:2])
+    triples = draw(
+        st.lists(
+            st.tuples(terms, st.sampled_from(_PREDICATES), terms),
+            min_size=1,
+            max_size=max_triples,
+        )
+    )
+    return TGraph(Triple(s, p, o) for s, p, o in triples)
+
+
+@st.composite
+def generalized_tgraphs(draw) -> GeneralizedTGraph:
+    tgraph = draw(tgraphs())
+    variables = sorted(tgraph.variables(), key=lambda v: v.name)
+    if variables:
+        distinguished = draw(st.sets(st.sampled_from(variables), max_size=len(variables)))
+    else:
+        distinguished = set()
+    return GeneralizedTGraph(tgraph, distinguished)
+
+
+# --- homomorphism / core invariants --------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(generalized_tgraphs())
+def test_core_is_equivalent_subgraph_and_idempotent(gtgraph):
+    core = core_of(gtgraph)
+    assert core.tgraph.issubset(gtgraph.tgraph)
+    assert is_core(core)
+    assert maps_to(gtgraph, core) and maps_to(core, gtgraph)
+    assert core_of(core) == core
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(generalized_tgraphs())
+def test_ctw_never_exceeds_tw(gtgraph):
+    assert 1 <= ctw(gtgraph) <= max(tw(gtgraph), 1)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tgraphs(), rdf_graphs())
+def test_homomorphism_is_preserved_by_target_extension(source, graph):
+    """If S → G then S → G ∪ extra triples (monotonicity of homomorphisms)."""
+    if has_homomorphism(source, graph):
+        bigger = graph.copy().add(Triple(EX.term("extra1"), _PREDICATES[0], EX.term("extra2")))
+        assert has_homomorphism(source, bigger)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tgraphs())
+def test_every_tgraph_maps_into_its_own_freezing(source):
+    from repro.hom import freeze_tgraph
+
+    frozen, _ = freeze_tgraph(source)
+    assert has_homomorphism(source, frozen)
+
+
+# --- pebble game invariants ------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tgraphs(max_triples=4), rdf_graphs(max_triples=10))
+def test_pebble_game_relaxes_homomorphism(source, graph):
+    """(S, ∅) → G implies (S, ∅) →_k G for k = 2 (property (2) of the paper)."""
+    from repro.pebble import pebble_game_winner
+
+    gtgraph = GeneralizedTGraph(source, frozenset())
+    if has_homomorphism(source, graph):
+        assert pebble_game_winner(gtgraph, graph, Mapping.EMPTY, 2)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(tgraphs(max_triples=4), rdf_graphs(max_triples=10))
+def test_pebble_game_exact_on_low_width(source, graph):
+    """Proposition 3: for ctw <= 1 the 2-pebble game equals the homomorphism test."""
+    from repro.pebble import pebble_game_winner
+
+    gtgraph = GeneralizedTGraph(source, frozenset())
+    if ctw(gtgraph) <= 1:
+        assert pebble_game_winner(gtgraph, graph, Mapping.EMPTY, 2) == has_homomorphism(
+            source, graph
+        )
+
+
+# --- semantics invariants -----------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), rdf_graphs())
+def test_wdpf_semantics_matches_compositional_semantics(seed, graph):
+    """⟦P⟧G computed via Lemma 1 equals the compositional semantics on random
+    well-designed patterns."""
+    pattern = random_wd_pattern(num_nodes=3, seed=seed)
+    forest = wdpf(pattern)
+    assert forest_solutions(forest, graph) == evaluate_pattern(pattern, graph)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), rdf_graphs())
+def test_pebble_algorithm_sound_and_complete_at_true_width(seed, graph):
+    """Theorem 1 on random UNION-free patterns: with k = dw(P) the pebble
+    algorithm decides membership exactly."""
+    tree = random_wd_tree(num_nodes=3, seed=seed)
+    forest = WDPatternForest([tree])
+    width = domination_width(forest)
+    solutions = forest_solutions(forest, graph)
+    # every true solution is accepted
+    for mu in list(solutions)[:4]:
+        assert forest_contains_pebble(forest, graph, mu, width)
+    # a perturbed non-solution is rejected
+    for mu in list(solutions)[:2]:
+        bindings = mu.as_dict()
+        if bindings:
+            first = sorted(bindings, key=lambda v: v.name)[0]
+            bindings[first] = IRI("http://example.org/__nowhere__")
+            candidate = Mapping(bindings)
+            if candidate not in solutions:
+                assert not forest_contains_pebble(forest, graph, candidate, width)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_proposition5_on_random_trees(seed):
+    """dw = bw for random UNION-free patterns."""
+    tree = random_wd_tree(num_nodes=3, seed=seed)
+    assert domination_width(WDPatternForest([tree])) == branch_treewidth(tree)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), rdf_graphs())
+def test_natural_algorithm_matches_membership_in_solution_set(seed, graph):
+    pattern = random_wd_pattern(num_nodes=2, seed=seed)
+    forest = wdpf(pattern)
+    solutions = evaluate_pattern(pattern, graph)
+    for mu in list(solutions)[:4]:
+        assert forest_contains(forest, graph, mu)

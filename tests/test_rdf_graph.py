@@ -1,0 +1,113 @@
+"""Unit tests for repro.rdf.graph (the indexed RDF graph)."""
+
+import pytest
+
+from repro.exceptions import RDFError
+from repro.rdf import RDFGraph, Triple, TriplePattern
+from repro.rdf.namespace import EX
+from repro.rdf.terms import IRI, Variable
+
+
+class TestBasicOperations:
+    def test_add_and_contains(self):
+        g = RDFGraph()
+        t = Triple.of("a", "p", "b")
+        g.add(t)
+        assert t in g
+        assert len(g) == 1
+
+    def test_add_is_idempotent(self):
+        g = RDFGraph()
+        t = Triple.of("a", "p", "b")
+        g.add(t).add(t)
+        assert len(g) == 1
+
+    def test_rejects_non_ground_triples(self):
+        g = RDFGraph()
+        with pytest.raises(RDFError):
+            g.add(TriplePattern.of("?x", "p", "b"))
+
+    def test_rejects_non_triples(self):
+        with pytest.raises(TypeError):
+            RDFGraph().add(("a", "p", "b"))
+
+    def test_from_tuples(self):
+        g = RDFGraph.from_tuples([("a", "p", "b"), ("b", "p", "c")])
+        assert len(g) == 2
+
+    def test_discard(self):
+        t = Triple.of("a", "p", "b")
+        g = RDFGraph([t])
+        g.discard(t)
+        assert len(g) == 0
+        assert list(g.matches(TriplePattern.of("?x", "p", "?y"))) == []
+
+    def test_copy_is_independent(self):
+        g = RDFGraph([Triple.of("a", "p", "b")])
+        h = g.copy()
+        h.add(Triple.of("c", "p", "d"))
+        assert len(g) == 1 and len(h) == 2
+
+    def test_union(self):
+        g = RDFGraph([Triple.of("a", "p", "b")])
+        h = RDFGraph([Triple.of("c", "p", "d")])
+        assert len(g.union(h)) == 2
+
+    def test_equality_and_hash(self):
+        g = RDFGraph([Triple.of("a", "p", "b")])
+        h = RDFGraph([Triple.of("a", "p", "b")])
+        assert g == h
+        assert hash(g) == hash(h)
+
+
+class TestDomains:
+    def test_domain_collects_all_positions(self, small_graph):
+        domain = small_graph.domain()
+        assert EX.a in domain and EX.p in domain and EX.d in domain
+
+    def test_subjects_predicates_objects(self, small_graph):
+        assert EX.a in small_graph.subjects()
+        assert EX.q in small_graph.predicates()
+        assert EX.c in small_graph.objects()
+
+
+class TestMatching:
+    def test_fully_bound_pattern(self, small_graph):
+        matches = list(small_graph.matches(TriplePattern.of(EX.a, EX.p, EX.b)))
+        assert len(matches) == 1
+
+    def test_predicate_bound_only(self, small_graph):
+        matches = list(small_graph.matches(TriplePattern.of("?x", EX.p, "?y")))
+        assert len(matches) == 2
+
+    def test_subject_bound_only(self, small_graph):
+        matches = list(small_graph.matches(TriplePattern.of(EX.b, "?p", "?o")))
+        assert len(matches) == 2
+
+    def test_unbound_pattern_returns_everything(self, small_graph):
+        matches = list(small_graph.matches(TriplePattern.of("?s", "?p", "?o")))
+        assert len(matches) == len(small_graph)
+
+    def test_repeated_variable_requires_equality(self, small_graph):
+        # only d --r--> d has subject == object
+        matches = list(small_graph.matches(TriplePattern.of("?x", "?p", "?x")))
+        assert len(matches) == 1
+        assert matches[0].subject == EX.d
+
+    def test_no_match(self, small_graph):
+        assert list(small_graph.matches(TriplePattern.of(EX.d, EX.p, "?x"))) == []
+
+    def test_solutions_bind_variables(self, small_graph):
+        solutions = list(small_graph.solutions(TriplePattern.of("?x", EX.p, "?y")))
+        assert {frozenset(s.items()) for s in solutions} == {
+            frozenset({(Variable("x"), EX.a), (Variable("y"), EX.b)}),
+            frozenset({(Variable("x"), EX.a), (Variable("y"), EX.c)}),
+        }
+
+    def test_solutions_for_ground_pattern(self, small_graph):
+        solutions = list(small_graph.solutions(TriplePattern.of(EX.a, EX.p, EX.b)))
+        assert solutions == [{}]
+
+    def test_solutions_repeated_variable(self, small_graph):
+        solutions = list(small_graph.solutions(TriplePattern.of("?x", EX.r, "?x")))
+        assert solutions == [{Variable("x"): EX.d}]

@@ -1,0 +1,100 @@
+"""Unit tests for repro.rdf.triples."""
+
+import pytest
+
+from repro.exceptions import RDFError
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import Triple, TriplePattern, coerce_term, pattern, triple, variables_of
+
+
+class TestCoerceTerm:
+    def test_question_mark_string_becomes_variable(self):
+        assert coerce_term("?x") == Variable("x")
+
+    def test_plain_string_becomes_iri(self):
+        assert coerce_term("http://example.org/p") == IRI("http://example.org/p")
+
+    def test_terms_pass_through(self):
+        term = Literal("42")
+        assert coerce_term(term) is term
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            coerce_term(3.14)
+
+
+class TestTriplePattern:
+    def test_of_builds_from_strings(self):
+        t = TriplePattern.of("?x", "p", "?y")
+        assert t.subject == Variable("x")
+        assert t.predicate == IRI("p")
+        assert t.object == Variable("y")
+
+    def test_variables_and_constants(self):
+        t = TriplePattern.of("?x", "p", "o")
+        assert t.variables() == {Variable("x")}
+        assert t.constants() == {IRI("p"), IRI("o")}
+
+    def test_is_ground(self):
+        assert TriplePattern.of("s", "p", "o").is_ground()
+        assert not TriplePattern.of("?s", "p", "o").is_ground()
+
+    def test_equality_and_hash(self):
+        assert TriplePattern.of("?x", "p", "?y") == TriplePattern.of("?x", "p", "?y")
+        assert len({TriplePattern.of("?x", "p", "?y"), TriplePattern.of("?x", "p", "?y")}) == 1
+
+    def test_immutable(self):
+        t = TriplePattern.of("?x", "p", "?y")
+        with pytest.raises(AttributeError):
+            t.subject = IRI("a")
+
+    def test_iteration_order(self):
+        t = TriplePattern.of("s", "p", "o")
+        assert [term.value for term in t] == ["s", "p", "o"]
+
+    def test_substitute_partial(self):
+        t = TriplePattern.of("?x", "p", "?y")
+        result = t.substitute({Variable("x"): IRI("a")})
+        assert result == TriplePattern.of("a", "p", "?y")
+
+    def test_substitute_to_variable(self):
+        t = TriplePattern.of("?x", "p", "?y")
+        result = t.substitute({Variable("x"): Variable("z")})
+        assert result.variables() == {Variable("z"), Variable("y")}
+
+    def test_apply_requires_full_coverage(self):
+        t = TriplePattern.of("?x", "p", "?y")
+        with pytest.raises(RDFError):
+            t.apply({Variable("x"): IRI("a")})
+
+    def test_apply_produces_ground_triple(self):
+        t = TriplePattern.of("?x", "p", "?y")
+        result = t.apply({Variable("x"): IRI("a"), Variable("y"): IRI("b")})
+        assert result.is_ground()
+        assert result == TriplePattern.of("a", "p", "b")
+
+    def test_rename(self):
+        t = TriplePattern.of("?x", "p", "?x")
+        renamed = t.rename({Variable("x"): Variable("z")})
+        assert renamed == TriplePattern.of("?z", "p", "?z")
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            TriplePattern("a", IRI("p"), IRI("b"))
+
+
+class TestConstructors:
+    def test_triple_requires_groundness(self):
+        with pytest.raises(RDFError):
+            triple("?x", "p", "o")
+        assert triple("s", "p", "o").is_ground()
+
+    def test_pattern_allows_variables(self):
+        assert pattern("?x", "p", "?y").variables() == {Variable("x"), Variable("y")}
+
+    def test_triple_is_alias_for_pattern_class(self):
+        assert Triple is TriplePattern
+
+    def test_variables_of(self):
+        ts = [pattern("?x", "p", "?y"), pattern("?y", "q", "?z")]
+        assert variables_of(ts) == {Variable("x"), Variable("y"), Variable("z")}

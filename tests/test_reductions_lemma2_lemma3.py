@@ -1,0 +1,121 @@
+"""Unit tests for the Lemma 2 construction and the Lemma 3 witness."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.hom import GeneralizedTGraph, maps_to
+from repro.patterns import WDPatternForest
+from repro.reductions import (
+    clique_number_pairs,
+    lemma2_construction,
+    lemma3_witness,
+)
+from repro.workloads.clique_instances import has_clique_bruteforce, plant_clique, random_host_graph
+from repro.workloads.families import fk_forest, hard_clique_tree, kk_tgraph
+
+
+class TestCliqueNumberPairs:
+    def test_bijection_size(self):
+        assert len(clique_number_pairs(4)) == 6
+
+    def test_pairs_are_sorted_and_distinct(self):
+        pairs = clique_number_pairs(5)
+        assert len(set(pairs)) == len(pairs)
+        assert all(i < j for i, j in pairs)
+
+
+@pytest.fixture(scope="module")
+def witness_k2():
+    """The Lemma 3 witness of the Q_2 family (core Gaifman graph = K_2)."""
+    forest = WDPatternForest([hard_clique_tree(2)])
+    return lemma3_witness(forest, 1)
+
+
+@pytest.fixture(scope="module")
+def witness_k3():
+    """A witness wide enough for the k=3 reduction (Q_9, Gaifman graph K_9)."""
+    forest = WDPatternForest([hard_clique_tree(9)])
+    return lemma3_witness(forest, 3)
+
+
+class TestLemma3:
+    def test_witness_on_hard_family(self, witness_k3):
+        assert witness_k3.width == 8
+        assert "ctw" in witness_k3.describe()
+
+    def test_witness_minimality_trivial_on_singleton_gtg(self, witness_k2):
+        # The GtG of the root subtree of Q_k is a singleton, so minimality is immediate.
+        assert witness_k2.width >= 1
+
+    def test_no_witness_on_narrow_forest(self):
+        forest = fk_forest(3)  # dw = 1
+        with pytest.raises(ReductionError):
+            lemma3_witness(forest, 2)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ReductionError):
+            lemma3_witness(fk_forest(2), 0)
+
+
+class TestLemma2Conditions:
+    """The four conditions of Lemma 2, on instances small enough to verify."""
+
+    @pytest.mark.parametrize("planted", [False, True])
+    def test_condition_three_k2(self, witness_k2, planted):
+        host = random_host_graph(5, 0.3, seed=11 if planted else 13)
+        if planted:
+            host, _ = plant_clique(host, 2, seed=1)
+        if host.number_of_edges() == 0:
+            pytest.skip("degenerate host")
+        result = lemma2_construction(witness_k2.gtgraph, host, 2)
+        expected = has_clique_bruteforce(host, 2)
+        assert maps_to(witness_k2.gtgraph, result.b) == expected
+
+    @pytest.mark.parametrize("planted", [False, True])
+    def test_condition_three_k3(self, witness_k3, planted):
+        host = random_host_graph(5, 0.35, seed=21 if planted else 23)
+        if planted:
+            host, _ = plant_clique(host, 3, seed=2)
+        result = lemma2_construction(witness_k3.gtgraph, host, 3)
+        expected = has_clique_bruteforce(host, 3)
+        assert maps_to(witness_k3.gtgraph, result.b) == expected
+
+    def test_condition_one_distinguished_triples_kept(self, witness_k3):
+        host, _ = plant_clique(random_host_graph(5, 0.3, seed=5), 3, seed=5)
+        result = lemma2_construction(witness_k3.gtgraph, host, 3)
+        for triple in witness_k3.gtgraph.triples():
+            if triple.variables() <= witness_k3.gtgraph.distinguished:
+                assert triple in result.b.triples()
+
+    def test_condition_two_b_maps_back(self, witness_k3):
+        host, _ = plant_clique(random_host_graph(5, 0.3, seed=6), 3, seed=6)
+        result = lemma2_construction(witness_k3.gtgraph, host, 3)
+        assert maps_to(result.b, witness_k3.gtgraph)
+
+    def test_projection_is_a_homomorphism_witness(self, witness_k3):
+        """The recorded projection Π maps B's fresh variables onto core variables."""
+        host, _ = plant_clique(random_host_graph(4, 0.4, seed=7), 3, seed=7)
+        result = lemma2_construction(witness_k3.gtgraph, host, 3)
+        substitution = dict(result.projection)
+        for triple in result.b.triples():
+            assert triple.substitute(substitution) in result.core.triples()
+
+    def test_rejects_k_less_than_two(self, witness_k2):
+        with pytest.raises(ReductionError):
+            lemma2_construction(witness_k2.gtgraph, nx.complete_graph(3), 1)
+
+    def test_rejects_empty_host(self, witness_k2):
+        with pytest.raises(ReductionError):
+            lemma2_construction(witness_k2.gtgraph, nx.Graph(), 2)
+
+    def test_rejects_edgeless_host(self, witness_k2):
+        host = nx.Graph()
+        host.add_nodes_from(range(4))
+        with pytest.raises(ReductionError):
+            lemma2_construction(witness_k2.gtgraph, host, 2)
+
+    def test_rejects_narrow_gtgraph(self):
+        narrow = GeneralizedTGraph.of(kk_tgraph(2), [])
+        with pytest.raises(ReductionError):
+            lemma2_construction(narrow, nx.complete_graph(4), 3)

@@ -1,0 +1,89 @@
+"""Unit tests for the end-to-end CLIQUE -> co-wdEVAL reduction (Theorem 2)."""
+
+import networkx as nx
+import pytest
+
+from repro.patterns import WDPatternForest
+from repro.reductions import (
+    clique_reduction,
+    minimum_family_index,
+    solve_clique_via_wdeval,
+)
+from repro.workloads.clique_instances import (
+    clique_instance,
+    has_clique_bruteforce,
+    plant_clique,
+    random_host_graph,
+)
+from repro.workloads.families import hard_clique_tree
+
+
+class TestFamilyIndex:
+    def test_minimum_family_index_values(self):
+        assert minimum_family_index(2) == 2
+        assert minimum_family_index(3) == 9
+
+    def test_index_grows(self):
+        assert minimum_family_index(4) > minimum_family_index(3)
+
+
+class TestReductionInstances:
+    def test_instance_structure_k2(self):
+        forest = WDPatternForest([hard_clique_tree(2)])
+        host = nx.complete_graph(3)
+        instance = clique_reduction(forest, host, 2)
+        assert instance.mapping.domain() == instance.witness.gtgraph.distinguished
+        assert len(instance.graph) == len(instance.lemma2.b.triples())
+
+    def test_correctness_k2_positive(self):
+        forest = WDPatternForest([hard_clique_tree(2)])
+        host = nx.complete_graph(3)  # certainly has a 2-clique
+        instance = clique_reduction(forest, host, 2)
+        assert instance.co_wdeval_answer() is True
+
+    def test_correctness_k3_both_answers(self):
+        forest = WDPatternForest([hard_clique_tree(minimum_family_index(3))])
+        yes_host, _ = plant_clique(random_host_graph(5, 0.2, seed=31), 3, seed=31)
+        no_host = nx.star_graph(4)  # star: no triangle
+        yes_instance = clique_reduction(forest, yes_host, 3)
+        no_instance = clique_reduction(forest, no_host, 3)
+        assert yes_instance.co_wdeval_answer() is True
+        assert no_instance.co_wdeval_answer() is False
+
+
+class TestSolveClique:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_k2_matches_bruteforce(self, seed):
+        host = random_host_graph(6, 0.25, seed=seed)
+        assert solve_clique_via_wdeval(host, 2) == has_clique_bruteforce(host, 2)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_k3_matches_bruteforce(self, seed):
+        host, k = clique_instance(5, 3, edge_probability=0.3, planted=(seed % 2 == 0), seed=seed)
+        assert solve_clique_via_wdeval(host, k) == has_clique_bruteforce(host, k)
+
+    def test_trivial_k_values(self):
+        host = nx.path_graph(3)
+        assert solve_clique_via_wdeval(host, 1) is True
+        assert solve_clique_via_wdeval(nx.Graph(), 1) is False
+
+
+class TestCliqueInstanceGenerators:
+    def test_planted_instance_has_clique(self):
+        host, k = clique_instance(8, 4, planted=True, seed=9)
+        assert has_clique_bruteforce(host, k)
+
+    def test_plant_clique_members_form_clique(self):
+        host, members = plant_clique(random_host_graph(8, 0.1, seed=2), 4, seed=2)
+        sub = host.subgraph(members)
+        assert sub.number_of_edges() == 6
+
+    def test_plant_too_large_clique_rejected(self):
+        with pytest.raises(ValueError):
+            plant_clique(nx.path_graph(3), 5)
+
+    def test_bruteforce_edge_cases(self):
+        assert has_clique_bruteforce(nx.Graph(), 0)
+        assert not has_clique_bruteforce(nx.Graph(), 1)
+        assert has_clique_bruteforce(nx.path_graph(2), 2)
+        assert not has_clique_bruteforce(nx.path_graph(3), 3)

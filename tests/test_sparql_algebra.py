@@ -1,0 +1,96 @@
+"""Unit tests for the AND/OPT/UNION algebra AST."""
+
+import pytest
+
+from repro.rdf.terms import Variable
+from repro.sparql.algebra import And, Opt, TriplePatternNode, Union, conj, opt_chain, tp, union_of
+
+
+class TestConstruction:
+    def test_tp_builds_leaf(self):
+        leaf = tp("?x", "p", "?y")
+        assert isinstance(leaf, TriplePatternNode)
+        assert leaf.variables() == {Variable("x"), Variable("y")}
+
+    def test_combinators(self):
+        p = tp("?x", "p", "?y").and_(tp("?y", "q", "?z")).opt(tp("?z", "r", "?w"))
+        assert isinstance(p, Opt)
+        assert isinstance(p.left, And)
+
+    def test_conj_left_deep(self):
+        p = conj([tp("?a", "p", "?b"), tp("?b", "p", "?c"), tp("?c", "p", "?d")])
+        assert isinstance(p, And)
+        assert isinstance(p.left, And)
+
+    def test_conj_single(self):
+        leaf = tp("?a", "p", "?b")
+        assert conj([leaf]) is leaf
+
+    def test_conj_empty_raises(self):
+        with pytest.raises(ValueError):
+            conj([])
+
+    def test_union_of(self):
+        p = union_of([tp("?a", "p", "?b"), tp("?a", "q", "?b")])
+        assert isinstance(p, Union)
+
+    def test_union_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_of([])
+
+    def test_opt_chain(self):
+        p = opt_chain(tp("?a", "p", "?b"), tp("?b", "q", "?c"), tp("?c", "r", "?d"))
+        assert isinstance(p, Opt) and isinstance(p.left, Opt)
+
+    def test_operands_must_be_patterns(self):
+        with pytest.raises(TypeError):
+            And(tp("?a", "p", "?b"), "not a pattern")
+
+
+class TestStructuralQueries:
+    def test_variables_collects_all(self):
+        p = tp("?x", "p", "?y").union(tp("?z", "q", "?w"))
+        assert p.variables() == {Variable(v) for v in "xyzw"}
+
+    def test_triple_patterns(self):
+        p = tp("?x", "p", "?y").and_(tp("?x", "p", "?y"))
+        assert len(p.triple_patterns()) == 1  # same triple pattern twice
+
+    def test_operators_and_union_free(self):
+        p1 = tp("?x", "p", "?y").opt(tp("?y", "q", "?z"))
+        assert p1.operators() == {"OPT"}
+        assert p1.is_union_free()
+        p2 = p1.union(tp("?x", "p", "?y"))
+        assert not p2.is_union_free()
+
+    def test_size_counts_nodes(self):
+        p = tp("?x", "p", "?y").and_(tp("?y", "q", "?z"))
+        assert p.size() == 3
+
+    def test_subpatterns_preorder(self):
+        p = tp("?x", "p", "?y").opt(tp("?y", "q", "?z"))
+        subs = list(p.subpatterns())
+        assert subs[0] is p
+        assert len(subs) == 3
+
+
+class TestEqualityAndRendering:
+    def test_structural_equality(self):
+        a = tp("?x", "p", "?y").and_(tp("?y", "q", "?z"))
+        b = tp("?x", "p", "?y").and_(tp("?y", "q", "?z"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_operator_matters_for_equality(self):
+        left = tp("?x", "p", "?y")
+        right = tp("?y", "q", "?z")
+        assert And(left, right) != Opt(left, right)
+
+    def test_str_contains_operator(self):
+        assert "OPT" in str(tp("?x", "p", "?y").opt(tp("?y", "q", "?z")))
+        assert "UNION" in str(tp("?x", "p", "?y").union(tp("?y", "q", "?z")))
+
+    def test_immutability(self):
+        p = tp("?x", "p", "?y").and_(tp("?y", "q", "?z"))
+        with pytest.raises(AttributeError):
+            p.left = tp("?a", "p", "?b")

@@ -1,0 +1,182 @@
+"""Unit tests for the extended fragment: FILTER conditions, the Filter/Select
+operators, safety and extended well-designedness (Section 5 of the paper)."""
+
+import pytest
+
+from repro.exceptions import NotWellDesignedError
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.namespace import EX
+from repro.rdf.terms import IRI, Variable
+from repro.sparql import (
+    Filter,
+    Select,
+    bound,
+    check_well_designed_extended,
+    core_fragment_of,
+    eq,
+    is_safe,
+    is_well_designed_extended,
+    neq,
+    parse_pattern,
+    tp,
+    Mapping,
+)
+from repro.evaluation import evaluate_extended, extended_pattern_contains, evaluate_pattern
+
+
+def m(**bindings):
+    return Mapping({Variable(k): IRI(v) for k, v in bindings.items()})
+
+
+class TestConditions:
+    def test_eq_on_bound_variables(self):
+        condition = eq("?x", "?y")
+        assert condition.evaluate(m(x="a", y="a"))
+        assert not condition.evaluate(m(x="a", y="b"))
+
+    def test_eq_with_constant(self):
+        condition = eq("?x", "a")
+        assert condition.evaluate(m(x="a"))
+        assert not condition.evaluate(m(x="b"))
+
+    def test_unbound_comparison_is_false(self):
+        assert not eq("?x", "?y").evaluate(m(x="a"))
+        assert not neq("?x", "?y").evaluate(m(x="a"))
+
+    def test_neq(self):
+        assert neq("?x", "?y").evaluate(m(x="a", y="b"))
+        assert not neq("?x", "?y").evaluate(m(x="a", y="a"))
+
+    def test_bound(self):
+        assert bound("?x").evaluate(m(x="a"))
+        assert not bound("?x").evaluate(m(y="a"))
+
+    def test_bound_requires_variable(self):
+        with pytest.raises(TypeError):
+            bound("notavariable")
+
+    def test_boolean_combinators(self):
+        condition = (eq("?x", "a") & neq("?y", "b")) | ~bound("?z")
+        assert condition.evaluate(m(x="a", y="c"))
+        assert condition.evaluate(m(x="q", y="b"))  # ?z unbound
+        assert condition.variables() == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_equality_and_hash(self):
+        assert eq("?x", "a") == eq("?x", "a")
+        assert eq("?x", "a") != neq("?x", "a")
+        assert len({eq("?x", "a"), eq("?x", "a")}) == 1
+
+    def test_invalid_operator(self):
+        from repro.sparql.filters import Comparison
+
+        with pytest.raises(ValueError):
+            Comparison(Variable("x"), Variable("y"), "<")
+
+
+class TestFilterSelectNodes:
+    def test_filter_variables_include_condition(self):
+        pattern = Filter(tp("?x", "p", "?y"), eq("?x", "?z"))
+        assert Variable("z") in pattern.variables()
+
+    def test_filter_requires_condition(self):
+        with pytest.raises(TypeError):
+            Filter(tp("?x", "p", "?y"), "not a condition")
+
+    def test_select_projection_deduplicated(self):
+        select = Select(tp("?x", "p", "?y"), [Variable("x"), Variable("x")])
+        assert select.projection == (Variable("x"),)
+
+    def test_select_requires_projection(self):
+        with pytest.raises(ValueError):
+            Select(tp("?x", "p", "?y"), [])
+
+    def test_str_rendering(self):
+        pattern = Select(Filter(tp("?x", "p", "?y"), eq("?x", "?y")), [Variable("x")])
+        text = str(pattern)
+        assert "SELECT" in text and "FILTER" in text
+
+
+class TestSafetyAndWellDesignedness:
+    def test_safe_filter(self):
+        pattern = Filter(tp("?x", "p", "?y"), neq("?x", "?y"))
+        assert is_safe(pattern)
+        assert is_well_designed_extended(pattern)
+
+    def test_unsafe_filter_detected(self):
+        pattern = Filter(tp("?x", "p", "?y"), eq("?x", "?z"))
+        assert not is_safe(pattern)
+        assert not is_well_designed_extended(pattern)
+        with pytest.raises(NotWellDesignedError):
+            check_well_designed_extended(pattern)
+
+    def test_opt_condition_still_checked_below_filter(self):
+        base = parse_pattern("(((?x p ?y) OPT (?z q ?x)) OPT ((?y r ?z) AND (?z r ?w)))")
+        pattern = Filter(base, neq("?x", "?y"))
+        assert not is_well_designed_extended(pattern)
+
+    def test_top_level_select_allowed(self):
+        pattern = Select(parse_pattern("((?x p ?y) OPT (?y q ?z))"), [Variable("x")])
+        assert is_well_designed_extended(pattern)
+
+    def test_nested_select_rejected(self):
+        inner = Select(tp("?x", "p", "?y"), [Variable("x")])
+        pattern = inner.and_(tp("?x", "q", "?z"))
+        assert not is_well_designed_extended(pattern)
+
+    def test_core_fragment_strips_top_level_select(self):
+        base = parse_pattern("((?x p ?y) OPT (?y q ?z))")
+        assert core_fragment_of(Select(base, [Variable("x")])) == base
+
+    def test_core_fragment_rejects_filter(self):
+        with pytest.raises(NotWellDesignedError):
+            core_fragment_of(Filter(tp("?x", "p", "?y"), eq("?x", "?y")))
+
+
+class TestExtendedEvaluation:
+    @pytest.fixture
+    def graph(self):
+        return RDFGraph(
+            [
+                Triple.of(EX.a, EX.p, EX.b),
+                Triple.of(EX.a, EX.p, EX.a),
+                Triple.of(EX.b, EX.q, EX.c),
+            ]
+        )
+
+    def test_filter_removes_solutions(self, graph):
+        base = parse_pattern(f"(?x <{EX.p.value}> ?y)")
+        filtered = Filter(base, neq("?x", "?y"))
+        assert len(evaluate_extended(base, graph)) == 2
+        assert len(evaluate_extended(filtered, graph)) == 1
+
+    def test_filter_with_bound_interacts_with_opt(self, graph):
+        base = parse_pattern(f"((?x <{EX.p.value}> ?y) OPT (?y <{EX.q.value}> ?z))")
+        only_extended = Filter(base, bound("?z"))
+        solutions = evaluate_extended(only_extended, graph)
+        assert len(solutions) == 1
+        assert all(Variable("z") in mu for mu in solutions)
+
+    def test_select_projects(self, graph):
+        base = parse_pattern(f"(?x <{EX.p.value}> ?y)")
+        select = Select(base, [Variable("x")])
+        solutions = evaluate_extended(select, graph)
+        assert solutions == {Mapping({Variable("x"): EX.a})}
+
+    def test_extended_membership(self, graph):
+        base = parse_pattern(f"(?x <{EX.p.value}> ?y)")
+        filtered = Filter(base, eq("?x", "?y"))
+        assert extended_pattern_contains(filtered, graph, Mapping({Variable("x"): EX.a, Variable("y"): EX.a}))
+        assert not extended_pattern_contains(filtered, graph, Mapping({Variable("x"): EX.a, Variable("y"): EX.b}))
+
+    def test_extended_evaluator_agrees_with_core_on_core_patterns(self, graph):
+        pattern = parse_pattern(f"((?x <{EX.p.value}> ?y) OPT (?y <{EX.q.value}> ?z))")
+        assert evaluate_extended(pattern, graph) == evaluate_pattern(pattern, graph)
+
+    def test_filter_can_express_inequality_queries(self, graph):
+        """Section 5: FILTER + well-designed patterns express CQs with inequalities
+        (here: an injective homomorphism query)."""
+        base = parse_pattern(f"((?x <{EX.p.value}> ?y) AND (?x <{EX.p.value}> ?z))")
+        injective = Filter(base, neq("?y", "?z"))
+        solutions = evaluate_extended(injective, graph)
+        assert all(mu[Variable("y")] != mu[Variable("z")] for mu in solutions)
+        assert len(solutions) == 2  # (b, a) and (a, b)

@@ -1,0 +1,116 @@
+"""Unit tests for solution mappings and their algebra."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.rdf.terms import IRI, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.mappings import (
+    Mapping,
+    compatible,
+    join_sets,
+    left_outer_join_sets,
+    merge,
+    union_sets,
+)
+
+
+def m(**bindings):
+    return Mapping({Variable(k): IRI(v) for k, v in bindings.items()})
+
+
+class TestMappingBasics:
+    def test_domain(self):
+        assert m(x="a", y="b").domain() == {Variable("x"), Variable("y")}
+
+    def test_empty_mapping_singleton(self):
+        assert Mapping.EMPTY.domain() == frozenset()
+        assert len(Mapping.EMPTY) == 0
+
+    def test_of_constructor(self):
+        mu = Mapping.of(x="http://example.org/a")
+        assert mu[Variable("x")] == IRI("http://example.org/a")
+
+    def test_of_rejects_variables_as_values(self):
+        with pytest.raises(TypeError):
+            Mapping.of(x="?y")
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(TypeError):
+            Mapping({IRI("a"): IRI("b")})
+
+    def test_rejects_variable_values(self):
+        with pytest.raises(TypeError):
+            Mapping({Variable("x"): Variable("y")})
+
+    def test_equality_and_hash(self):
+        assert m(x="a") == m(x="a")
+        assert len({m(x="a"), m(x="a"), m(x="b")}) == 2
+
+    def test_immutable(self):
+        mu = m(x="a")
+        with pytest.raises(AttributeError):
+            mu._bindings = {}
+
+    def test_get_and_contains(self):
+        mu = m(x="a")
+        assert Variable("x") in mu
+        assert mu.get(Variable("y")) is None
+
+    def test_restrict(self):
+        mu = m(x="a", y="b")
+        assert mu.restrict([Variable("x")]) == m(x="a")
+
+    def test_extend(self):
+        assert m(x="a").extend(Variable("y"), IRI("b")) == m(x="a", y="b")
+
+    def test_extend_conflict_raises(self):
+        with pytest.raises(EvaluationError):
+            m(x="a").extend(Variable("x"), IRI("b"))
+
+    def test_apply_and_covers(self):
+        mu = m(x="a", y="b")
+        t = TriplePattern.of("?x", "p", "?y")
+        assert mu.covers(t)
+        assert mu.apply(t) == TriplePattern.of("a", "p", "b")
+
+
+class TestCompatibility:
+    def test_disjoint_domains_are_compatible(self):
+        assert compatible(m(x="a"), m(y="b"))
+
+    def test_agreeing_overlap_is_compatible(self):
+        assert compatible(m(x="a", y="b"), m(y="b", z="c"))
+
+    def test_conflicting_overlap_is_incompatible(self):
+        assert not compatible(m(x="a"), m(x="b"))
+
+    def test_empty_mapping_compatible_with_everything(self):
+        assert compatible(Mapping.EMPTY, m(x="a"))
+
+    def test_merge(self):
+        assert merge(m(x="a"), m(y="b")) == m(x="a", y="b")
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(EvaluationError):
+            merge(m(x="a"), m(x="b"))
+
+
+class TestSetOperations:
+    def test_join(self):
+        omega1 = {m(x="a"), m(x="b")}
+        omega2 = {m(x="a", y="c"), m(x="z", y="d")}
+        assert join_sets(omega1, omega2) == {m(x="a", y="c")}
+
+    def test_left_outer_join_keeps_unmatched(self):
+        omega1 = {m(x="a"), m(x="b")}
+        omega2 = {m(x="a", y="c")}
+        result = left_outer_join_sets(omega1, omega2)
+        assert result == {m(x="a", y="c"), m(x="b")}
+
+    def test_left_outer_join_empty_right(self):
+        omega1 = {m(x="a")}
+        assert left_outer_join_sets(omega1, set()) == omega1
+
+    def test_union(self):
+        assert union_sets({m(x="a")}, {m(y="b")}) == {m(x="a"), m(y="b")}

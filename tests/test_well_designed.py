@@ -1,0 +1,99 @@
+"""Unit tests for well-designedness checking (Definition in Section 2)."""
+
+import pytest
+
+from repro.exceptions import NotWellDesignedError
+from repro.rdf.terms import Variable
+from repro.sparql import (
+    check_well_designed,
+    find_violation,
+    is_well_designed,
+    is_union_free_well_designed,
+    parse_pattern,
+    union_operands,
+)
+from repro.workloads.families import example1_patterns
+
+
+class TestExample1:
+    """Example 1 of the paper: P1 is well-designed, P2 is not."""
+
+    def test_p1_is_well_designed(self):
+        p1, _ = example1_patterns()
+        assert is_well_designed(p1)
+
+    def test_p2_is_not_well_designed(self):
+        _, p2 = example1_patterns()
+        assert not is_well_designed(p2)
+
+    def test_p2_violation_mentions_z(self):
+        _, p2 = example1_patterns()
+        violation = find_violation(p2)
+        assert violation is not None
+        assert violation.variable == Variable("z")
+        assert violation.kind == "opt-variable"
+        assert "z" in violation.describe()
+
+
+class TestBasicCases:
+    def test_single_triple_is_well_designed(self):
+        assert is_well_designed(parse_pattern("(?x p ?y)"))
+
+    def test_and_only_is_well_designed(self):
+        assert is_well_designed(parse_pattern("((?x p ?y) AND (?y q ?z))"))
+
+    def test_simple_opt_is_well_designed(self):
+        assert is_well_designed(parse_pattern("((?x p ?y) OPT (?y q ?z))"))
+
+    def test_opt_with_fresh_variable_ok(self):
+        assert is_well_designed(parse_pattern("((?x p ?y) OPT (?z q ?w))"))
+
+    def test_violating_nested_opt(self):
+        # ?z appears in the optional part of the inner OPT and again outside it.
+        pattern = parse_pattern("(((?x p ?y) OPT (?z q ?x)) AND (?z r ?y))")
+        assert not is_well_designed(pattern)
+
+    def test_union_at_top_level_ok(self):
+        pattern = parse_pattern("((?x p ?y) OPT (?z q ?x)) UNION (?x r ?y)")
+        assert is_well_designed(pattern)
+
+    def test_union_nested_below_opt_rejected(self):
+        pattern = parse_pattern("(?x p ?y) OPT ((?x q ?z) UNION (?x r ?z))")
+        violation = find_violation(pattern)
+        assert violation is not None and violation.kind == "nested-union"
+
+    def test_union_nested_below_and_rejected(self):
+        pattern = parse_pattern("(?x p ?y) AND ((?x q ?z) UNION (?x r ?z))")
+        assert not is_well_designed(pattern)
+
+    def test_well_designed_example_from_paper_figure2(self):
+        from repro.workloads.families import fk_pattern
+
+        assert is_well_designed(fk_pattern(3))
+
+
+class TestHelpers:
+    def test_union_operands_flattens(self):
+        pattern = parse_pattern("(?x p ?y) UNION (?x q ?y) UNION (?x r ?y)")
+        assert len(union_operands(pattern)) == 3
+
+    def test_union_operands_single(self):
+        pattern = parse_pattern("(?x p ?y)")
+        assert union_operands(pattern) == [pattern]
+
+    def test_check_raises_with_witness(self):
+        _, p2 = example1_patterns()
+        with pytest.raises(NotWellDesignedError) as info:
+            check_well_designed(p2)
+        assert info.value.violation is not None
+
+    def test_check_passes_silently(self):
+        p1, _ = example1_patterns()
+        check_well_designed(p1)
+
+    def test_is_union_free_well_designed(self):
+        p1, _ = example1_patterns()
+        assert is_union_free_well_designed(p1)
+        union = parse_pattern("(?x p ?y) UNION (?x q ?y)")
+        assert is_well_designed(union)
+        assert not is_union_free_well_designed(union)

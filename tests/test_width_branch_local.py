@@ -1,0 +1,132 @@
+"""Unit tests for branch treewidth (Definition 3), local width and
+Proposition 5 (dw = bw for UNION-free patterns)."""
+
+import pytest
+
+from repro.exceptions import WidthComputationError
+from repro.patterns import WDPatternForest, build_wdpt
+from repro.sparql import parse_pattern
+from repro.width import (
+    branch_gtgraph,
+    branch_treewidth,
+    branch_treewidth_of_pattern,
+    domination_width,
+    local_node_gtgraph,
+    local_width,
+    local_width_of_forest,
+    local_width_of_pattern,
+)
+from repro.workloads.families import (
+    chain_tree,
+    fk_forest,
+    fk_pattern,
+    hard_clique_tree,
+    tprime_pattern,
+    tprime_tree,
+)
+from repro.workloads.random_patterns import random_wd_tree
+
+
+class TestBranchTreewidth:
+    def test_single_node_tree(self):
+        tree = build_wdpt(parse_pattern("(?x p ?y)"))
+        assert branch_treewidth(tree) == 1
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_tprime_family_is_branch_width_one(self, k):
+        """Section 3.2: bw(T'_k) = 1 because the branch core collapses onto the self-loop."""
+        assert branch_treewidth(tprime_tree(k)) == 1
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_hard_family_branch_width_grows(self, k):
+        assert branch_treewidth(hard_clique_tree(k)) == k - 1
+
+    def test_chain_has_branch_width_one(self):
+        assert branch_treewidth(chain_tree(4)) == 1
+
+    def test_branch_gtgraph_shape(self):
+        tree = tprime_tree(3)
+        child = tree.children_of(tree.root)[0]
+        gt = branch_gtgraph(tree, child)
+        assert gt.distinguished == tree.vars(tree.root)
+        assert len(gt.triples()) == len(tree.pat(tree.root)) + len(tree.pat(child))
+
+    def test_branch_gtgraph_of_root_rejected(self):
+        tree = tprime_tree(2)
+        with pytest.raises(WidthComputationError):
+            branch_gtgraph(tree, tree.root)
+
+    def test_pattern_level_api(self):
+        assert branch_treewidth_of_pattern(tprime_pattern(4)) == 1
+
+    def test_pattern_level_api_rejects_union(self):
+        with pytest.raises(WidthComputationError):
+            branch_treewidth_of_pattern(fk_pattern(2))
+
+    def test_per_node_report(self):
+        per_node = {}
+        branch_treewidth(hard_clique_tree(4), per_node)
+        assert list(per_node.values()) == [3]
+
+
+class TestLocalWidth:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_tprime_local_width_is_k_minus_one(self, k):
+        assert local_width(tprime_tree(k)) == k - 1
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_fk_local_width_is_k_minus_one(self, k):
+        assert local_width_of_forest(fk_forest(k)) == k - 1
+
+    def test_chain_is_locally_tractable(self):
+        assert local_width(chain_tree(5)) == 1
+
+    def test_local_width_of_pattern(self):
+        assert local_width_of_pattern(tprime_pattern(4)) == 3
+
+    def test_local_node_gtgraph_distinguished_is_interface(self):
+        tree = tprime_tree(3)
+        child = tree.children_of(tree.root)[0]
+        gt = local_node_gtgraph(tree, child)
+        assert gt.distinguished == tree.vars(child) & tree.vars(tree.root)
+
+    def test_local_node_gtgraph_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            local_node_gtgraph(tprime_tree(2), 0)
+
+    def test_local_tractability_implies_bounded_domination(self):
+        """Local width bounds domination width from above (the paper's easy direction)."""
+        for depth in (2, 3):
+            tree = chain_tree(depth)
+            forest = WDPatternForest([tree])
+            assert domination_width(forest) <= local_width(tree)
+
+
+class TestProposition5:
+    """dw(P) = bw(P) for UNION-free well-designed patterns."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_tprime_family(self, k):
+        tree = tprime_tree(k)
+        assert domination_width(WDPatternForest([tree])) == branch_treewidth(tree)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_hard_family(self, k):
+        tree = hard_clique_tree(k)
+        assert domination_width(WDPatternForest([tree])) == branch_treewidth(tree)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_union_free_patterns(self, seed):
+        tree = random_wd_tree(num_nodes=3, seed=seed)
+        assert domination_width(WDPatternForest([tree])) == branch_treewidth(tree)
+
+    def test_gap_between_general_and_union_free(self):
+        """For general (UNION) patterns the trivial per-member bound fails:
+        GtG(T1[r1]) of F_k contains a member of ctw = k-1, yet dw = 1."""
+        from repro.hom import ctw
+        from repro.patterns.gtg import gtg
+
+        forest = fk_forest(4)
+        members = gtg(forest, forest[0].root_subtree())
+        assert max(ctw(member) for member in members) == 3
+        assert domination_width(forest) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the workload generators (paper families, random patterns,
+clique instances and their data graphs)."""
+
+import pytest
+
+from repro.patterns import wdpf
+from repro.rdf.namespace import EX
+from repro.sparql import is_well_designed
+from repro.workloads import (
+    chain_pattern,
+    chain_tree,
+    clique_query_data_graph,
+    example1_patterns,
+    example2_pattern,
+    example3_gtgraphs,
+    fk_data_graph,
+    fk_forest,
+    fk_pattern,
+    hard_clique_pattern,
+    hard_clique_tree,
+    kk_tgraph,
+    random_host_graph,
+    random_union_pattern,
+    random_wd_forest,
+    random_wd_pattern,
+    random_wd_tree,
+    tprime_data_graph,
+    tprime_pattern,
+    tprime_tree,
+)
+from repro.workloads.families import P_PRED, R_PRED
+
+
+class TestPaperFamilies:
+    def test_kk_tgraph_size(self):
+        assert len(kk_tgraph(5)) == 10
+        assert len(kk_tgraph(1)) == 0
+
+    def test_kk_tgraph_rejects_zero(self):
+        with pytest.raises(ValueError):
+            kk_tgraph(0)
+
+    def test_example_families_require_k_at_least_two(self):
+        for family in (example3_gtgraphs, fk_forest, fk_pattern, tprime_tree, tprime_pattern,
+                       hard_clique_tree, hard_clique_pattern):
+            with pytest.raises(ValueError):
+                family(1)
+
+    def test_example1_patterns_well_designedness(self):
+        p1, p2 = example1_patterns()
+        assert is_well_designed(p1)
+        assert not is_well_designed(p2)
+
+    def test_example2_pattern_is_well_designed(self):
+        assert is_well_designed(example2_pattern(2))
+
+    def test_fk_forest_structure(self):
+        forest = fk_forest(4)
+        assert len(forest) == 3
+        t1 = forest[0]
+        assert len(t1.children_of(t1.root)) == 2
+        # the K_4 child has 1 + 6 triples
+        sizes = sorted(len(t1.pat(c)) for c in t1.children_of(t1.root))
+        assert sizes == [1, 7]
+
+    def test_fk_pattern_translates_to_three_trees(self):
+        assert len(wdpf(fk_pattern(2))) == 3
+
+    def test_family_patterns_are_well_designed(self):
+        for pattern in (fk_pattern(3), tprime_pattern(3), hard_clique_pattern(3), chain_pattern(3)):
+            assert is_well_designed(pattern)
+
+    def test_chain_tree_structure(self):
+        tree = chain_tree(4)
+        assert tree.size() == 4
+        assert tree.depth() == 3
+
+    def test_chain_requires_positive_depth(self):
+        with pytest.raises(ValueError):
+            chain_tree(0)
+
+
+class TestDataGenerators:
+    def test_fk_data_graph_predicates(self):
+        graph = fk_data_graph(8, 40, seed=1)
+        assert EX.term("p") in graph.predicates()
+
+    def test_fk_data_graph_clique_planted(self):
+        graph = fk_data_graph(8, 20, clique_size=3, seed=1)
+        clique_members = [EX.term(f"clique{i}") for i in range(3)]
+        for i, u in enumerate(clique_members):
+            for j, v in enumerate(clique_members):
+                if i != j:
+                    assert any(t.subject == u and t.object == v for t in graph)
+
+    def test_tprime_data_graph_self_loop(self):
+        graph = tprime_data_graph(6, 20, with_self_loop=True, seed=2)
+        assert any(t.subject == t.object for t in graph)
+
+    def test_tprime_data_graph_without_self_loop(self):
+        graph = tprime_data_graph(6, 0, with_self_loop=False, seed=2)
+        assert len(graph) == 0
+
+    def test_clique_query_data_graph_anchor(self):
+        host = random_host_graph(5, 0.5, seed=1)
+        graph = clique_query_data_graph(host)
+        anchors = [t for t in graph if t.predicate.value == P_PRED]
+        assert len(anchors) == 1
+        r_triples = [t for t in graph if t.predicate.value == R_PRED]
+        assert len(r_triples) == 2 * host.number_of_edges()
+
+    def test_clique_query_data_graph_rejects_non_graph(self):
+        with pytest.raises(TypeError):
+            clique_query_data_graph("not a graph")
+
+
+class TestRandomPatterns:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_tree_is_valid_and_nr(self, seed):
+        tree = random_wd_tree(num_nodes=4, seed=seed)
+        assert tree.is_nr_normal_form()
+        assert tree.size() >= 1
+
+    def test_random_tree_deterministic_under_seed(self):
+        a = random_wd_tree(num_nodes=4, seed=11)
+        b = random_wd_tree(num_nodes=4, seed=11)
+        assert a.pattern() == b.pattern()
+
+    def test_random_tree_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_wd_tree(num_nodes=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_patterns_are_well_designed(self, seed):
+        assert is_well_designed(random_wd_pattern(num_nodes=3, seed=seed))
+        assert is_well_designed(random_union_pattern(num_trees=2, num_nodes=2, seed=seed))
+
+    def test_random_forest_size(self):
+        forest = random_wd_forest(num_trees=3, num_nodes=2, seed=1)
+        assert len(forest) == 3
