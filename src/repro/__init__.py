@@ -68,7 +68,14 @@ from .width import (
     local_width,
     local_width_of_pattern,
 )
-from .evaluation import Engine, evaluate_pattern, forest_contains, forest_contains_pebble
+from .evaluation import (
+    BatchEngine,
+    Engine,
+    EvaluationCache,
+    evaluate_pattern,
+    forest_contains,
+    forest_contains_pebble,
+)
 from .reductions import clique_reduction, solve_clique_via_wdeval
 
 __version__ = "1.0.0"
@@ -132,6 +139,8 @@ __all__ = [
     "local_width_of_pattern",
     # evaluation
     "Engine",
+    "BatchEngine",
+    "EvaluationCache",
     "evaluate_pattern",
     "forest_contains",
     "forest_contains_pebble",

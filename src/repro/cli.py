@@ -4,6 +4,7 @@ A small CLI so that the library can be used without writing Python::
 
     python -m repro evaluate --graph data.nt --query "((?x knows ?y) OPT (?y email ?e))"
     python -m repro check    --graph data.nt --query QUERY --binding x=alice --binding y=bob
+    python -m repro batch    --graph data.nt --query QUERY --bindings-file mappings.txt
     python -m repro classify --query QUERY
     python -m repro validate --query QUERY
 
@@ -14,6 +15,12 @@ Sub-commands
 ``check``
     Decide ``µ ∈ ⟦P⟧G`` for the mapping given by ``--binding var=iri`` pairs
     (the paper's wdEVAL problem), using the requested engine.
+``batch``
+    Decide many wdEVAL instances at once through the cached
+    :class:`~repro.evaluation.batch.BatchEngine`.  The bindings file holds
+    one candidate mapping per line as whitespace-separated ``var=iri``
+    pairs (the empty mapping is written as ``-``; a line starting with
+    ``#`` is a comment).
 ``classify``
     Print the width profile (domination width, branch treewidth, local width)
     and the Theorem 3 verdict.
@@ -27,7 +34,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
-from .evaluation import Engine
+from .evaluation import BatchEngine, Engine
 from .rdf.graph import RDFGraph
 from .rdf.io import load_graph
 from .rdf.terms import IRI, Variable
@@ -74,6 +81,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--width", type=int, default=None, help="width bound for the pebble engine")
 
+    batch = subparsers.add_parser(
+        "batch", help="decide many wdEVAL instances at once (cached batch engine)"
+    )
+    batch.add_argument("--graph", required=True, help="N-Triples style data file")
+    add_query_argument(batch)
+    batch.add_argument(
+        "--bindings-file",
+        required=True,
+        help=(
+            "file with one mapping per line as VAR=IRI pairs "
+            "('-' = empty mapping, lines starting with '#' are comments)"
+        ),
+    )
+    batch.add_argument(
+        "--method", choices=["auto", "naive", "natural", "pebble"], default="auto"
+    )
+    batch.add_argument("--width", type=int, default=None, help="width bound for the pebble engine")
+    batch.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="evaluate in parallel with this many worker processes",
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="print cache statistics after the run"
+    )
+
     classify = subparsers.add_parser("classify", help="width profile and tractability verdict")
     add_query_argument(classify)
 
@@ -115,6 +149,50 @@ def _command_check(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
+def _load_bindings_file(path: str) -> List[Mapping]:
+    """Parse a bindings file: one mapping per line of ``VAR=IRI`` pairs.
+
+    Only whole lines starting with ``#`` are comments (like the graph
+    loader); IRIs routinely contain ``#`` fragments, so the character is not
+    special elsewhere on a line.
+    """
+    mappings: List[Mapping] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "-":
+                mappings.append(Mapping.EMPTY)
+                continue
+            try:
+                mappings.append(_parse_bindings(line.split()))
+            except ReproError as error:
+                raise ReproError(f"{path}:{line_number}: {error}") from error
+    return mappings
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    mappings = _load_bindings_file(args.bindings_file)
+    batch = BatchEngine(
+        parse_pattern(args.query), width_bound=args.width, processes=args.processes
+    )
+    answers = batch.contains_many(graph, mappings, method=args.method, width=args.width)
+    for mu, answer in zip(mappings, answers):
+        rendered = " ".join(
+            f"{var.name}={value.value if hasattr(value, 'value') else value}"
+            for var, value in sorted(mu.items(), key=lambda kv: kv[0].name)
+        )
+        print(f"{'IN    ' if answer else 'NOT-IN'} {rendered if rendered else '-'}")
+    positive = sum(answers)
+    print(f"# {positive} of {len(answers)} mapping(s) are solutions")
+    if args.stats:
+        stats = batch.cache.statistics
+        print(f"# cache: {stats.hits} hits, {stats.misses} misses ({stats.hit_rate():.0%} hit rate)")
+    return 0
+
+
 def _command_classify(args: argparse.Namespace) -> int:
     pattern = parse_pattern(args.query)
     report = classify_pattern(pattern)
@@ -143,6 +221,7 @@ def _command_validate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "evaluate": _command_evaluate,
     "check": _command_check,
+    "batch": _command_batch,
     "classify": _command_classify,
     "validate": _command_validate,
 }
@@ -154,7 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

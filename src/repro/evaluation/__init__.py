@@ -1,5 +1,5 @@
-"""Evaluation engines: naive semantics, the natural wdPF algorithm and the
-Theorem 1 pebble-relaxation algorithm."""
+"""Evaluation engines: naive semantics, the natural wdPF algorithm, the
+Theorem 1 pebble-relaxation algorithm, and the cached batch service layer."""
 
 from .naive import evaluate_pattern, pattern_contains
 from .wdeval import (
@@ -12,7 +12,9 @@ from .wdeval import (
 )
 from .pebble_eval import tree_contains_pebble, forest_contains_pebble
 from .extended import evaluate_extended, extended_pattern_contains
+from .cache import CacheStatistics, EvaluationCache
 from .engine import Engine
+from .batch import BatchEngine, contains_many_patterns, contains_matrix
 
 __all__ = [
     "evaluate_pattern",
@@ -27,5 +29,10 @@ __all__ = [
     "forest_contains_pebble",
     "evaluate_extended",
     "extended_pattern_contains",
+    "CacheStatistics",
+    "EvaluationCache",
     "Engine",
+    "BatchEngine",
+    "contains_many_patterns",
+    "contains_matrix",
 ]

@@ -1,0 +1,288 @@
+"""Batch evaluation of many wdEVAL instances.
+
+The paper's wdEVAL problem is a single membership test ``µ ∈ ⟦P⟧G``; serving
+realistic workloads means answering *sets* of such instances — many candidate
+mappings against one pattern, or many patterns against one graph — and doing
+so much faster than a loop of independent :meth:`Engine.contains` calls.
+:class:`BatchEngine` provides that service layer:
+
+* every instance set shares one
+  :class:`~repro.evaluation.cache.EvaluationCache`, so the graph's triple
+  index is built once, repeated homomorphism sub-instances are solved once,
+  and witness subtrees are looked up once per distinct mapping;
+* duplicate mappings in the input are answered once and fanned back out;
+* the ``"auto"`` method is resolved once for the whole set instead of per
+  call;
+* batched ``"naive"`` evaluation materialises ``⟦P⟧G`` a single time and
+  answers every mapping by set membership;
+* an opt-in :mod:`multiprocessing` pool (``processes=``) splits
+  embarrassingly parallel instance sets across workers, each with its own
+  private cache.
+
+Answers are guaranteed identical (same booleans, same order) to the
+single-shot engine; the cache and the pool are pure performance features.
+
+The module-level helpers :func:`contains_many_patterns` and
+:func:`contains_matrix` cover the many-patterns-one-graph direction, again
+sharing one cache so structurally overlapping patterns reuse each other's
+homomorphism tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .cache import EvaluationCache
+from .engine import Engine
+from .naive import evaluate_pattern
+from .wdeval import EvaluationStatistics
+from ..patterns.forest import WDPatternForest
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import GraphPattern
+from ..sparql.mappings import Mapping
+from ..exceptions import EvaluationError
+
+__all__ = ["BatchEngine", "contains_many_patterns", "contains_matrix"]
+
+#: Anything a batch entry point accepts as "a pattern".
+PatternLike = Union[Engine, GraphPattern, WDPatternForest]
+
+
+def _as_engine(pattern: PatternLike, cache: Optional[EvaluationCache]) -> Engine:
+    """Coerce a pattern-like value into an engine wired to *cache*."""
+    if isinstance(pattern, Engine):
+        if cache is None or pattern.cache is cache:
+            return pattern
+        return Engine(pattern.pattern, pattern.forest, pattern.width_bound, cache=cache)
+    if isinstance(pattern, WDPatternForest):
+        return Engine(forest=pattern, cache=cache)
+    if isinstance(pattern, GraphPattern):
+        return Engine(pattern, cache=cache)
+    raise EvaluationError(
+        f"expected an Engine, GraphPattern or WDPatternForest, got {type(pattern).__name__}"
+    )
+
+
+# --- multiprocessing plumbing -------------------------------------------------
+#
+# Workers are initialised once per pool with the (pickled) forest and graph and
+# then stream mappings; each worker owns a private EvaluationCache so the
+# per-graph index and memo tables are built once per worker, not per mapping.
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    forest: WDPatternForest,
+    width_bound: Optional[int],
+    graph: RDFGraph,
+    method: str,
+    width: Optional[int],
+) -> None:
+    _WORKER_STATE["engine"] = Engine(forest=forest, width_bound=width_bound, cache=EvaluationCache())
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["method"] = method
+    _WORKER_STATE["width"] = width
+
+
+def _worker_contains(mu: Mapping) -> bool:
+    engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
+    return engine.contains(
+        _WORKER_STATE["graph"],  # type: ignore[arg-type]
+        mu,
+        method=_WORKER_STATE["method"],  # type: ignore[arg-type]
+        width=_WORKER_STATE["width"],  # type: ignore[arg-type]
+    )
+
+
+class BatchEngine:
+    """Answer many wdEVAL instances for one pattern through a shared cache.
+
+    Parameters mirror :class:`Engine`; a fresh
+    :class:`~repro.evaluation.cache.EvaluationCache` is created when none is
+    supplied, so batching is cached by construction.
+
+    >>> from repro.sparql import parse_pattern
+    >>> from repro.rdf import RDFGraph, Triple
+    >>> batch = BatchEngine(parse_pattern("((?x knows ?y) OPT (?y email ?e))"))
+    >>> g = RDFGraph([Triple.of("a", "knows", "b")])
+    >>> batch.contains_many(g, [Mapping.of(x="a", y="b")])
+    [True]
+    """
+
+    def __init__(
+        self,
+        pattern: Optional[GraphPattern] = None,
+        forest: Optional[WDPatternForest] = None,
+        width_bound: Optional[int] = None,
+        cache: Optional[EvaluationCache] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise EvaluationError("processes must be a positive integer")
+        self._cache = cache if cache is not None else EvaluationCache()
+        self._engine = Engine(pattern, forest, width_bound, cache=self._cache)
+        self._processes = processes
+
+    @classmethod
+    def from_engine(cls, engine: Engine, processes: Optional[int] = None) -> "BatchEngine":
+        """Wrap an existing engine (reusing its cache when it has one)."""
+        return cls(
+            engine.pattern,
+            engine.forest,
+            engine.width_bound,
+            cache=engine.cache,
+            processes=processes,
+        )
+
+    # --- introspection -----------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        """The underlying single-instance engine (shares this batch's cache)."""
+        return self._engine
+
+    @property
+    def cache(self) -> EvaluationCache:
+        """The evaluation cache shared by every instance of this batch."""
+        return self._cache
+
+    @property
+    def forest(self) -> WDPatternForest:
+        """The wdPF being evaluated."""
+        return self._engine.forest
+
+    @property
+    def pattern(self) -> GraphPattern:
+        """The graph pattern being evaluated."""
+        return self._engine.pattern
+
+    def __repr__(self) -> str:
+        return f"BatchEngine({self._engine.forest!r}, processes={self._processes})"
+
+    # --- batched membership ------------------------------------------------
+    def contains_many(
+        self,
+        graph: RDFGraph,
+        mappings: Iterable[Mapping],
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+        processes: Optional[int] = None,
+    ) -> List[bool]:
+        """Decide ``µ ∈ ⟦P⟧G`` for every mapping, in input order.
+
+        Guaranteed to return exactly the booleans a loop of
+        :meth:`Engine.contains` calls would, but sharing the cache across
+        instances, deduplicating repeated mappings, resolving ``"auto"``
+        once, and — when *processes* (or the constructor default) asks for
+        it — fanning the instances out over a worker pool.
+
+        *statistics* is only accumulated on the serial path; worker-side
+        counters are not collected.
+        """
+        mappings = list(mappings)
+        if not mappings:
+            return []
+        resolved_method, resolved_width = self._engine.resolve_method(method, width)
+        unique: List[Mapping] = []
+        seen: Set[Mapping] = set()
+        for mu in mappings:
+            if mu not in seen:
+                seen.add(mu)
+                unique.append(mu)
+
+        processes = processes if processes is not None else self._processes
+        if resolved_method == "naive":
+            # One materialisation of the full answer set serves every mapping.
+            answer_set = evaluate_pattern(self._engine.pattern, graph)
+            answers = {mu: mu in answer_set for mu in unique}
+        elif processes is not None and processes > 1 and len(unique) > 1:
+            answers = dict(
+                zip(unique, self._parallel(graph, unique, resolved_method, resolved_width, processes))
+            )
+        else:
+            answers = {
+                mu: self._engine.contains(
+                    graph, mu, method=resolved_method, width=resolved_width, statistics=statistics
+                )
+                for mu in unique
+            }
+        return [answers[mu] for mu in mappings]
+
+    def _parallel(
+        self,
+        graph: RDFGraph,
+        mappings: Sequence[Mapping],
+        method: str,
+        width: Optional[int],
+        processes: int,
+    ) -> List[bool]:
+        processes = min(processes, len(mappings))
+        chunksize = max(1, len(mappings) // (processes * 4))
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(self._engine.forest, self._engine.width_bound, graph, method, width),
+        ) as pool:
+            return pool.map(_worker_contains, mappings, chunksize=chunksize)
+
+    # --- passthroughs ------------------------------------------------------
+    def contains(
+        self,
+        graph: RDFGraph,
+        mu: Mapping,
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> bool:
+        """Single membership check through the shared cache."""
+        return self._engine.contains(graph, mu, method=method, width=width, statistics=statistics)
+
+    def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
+        """Enumerate the full answer set ``⟦P⟧G`` (see :meth:`Engine.solutions`)."""
+        return self._engine.solutions(graph, method=method)
+
+
+def contains_many_patterns(
+    patterns: Iterable[PatternLike],
+    graph: RDFGraph,
+    mu: Mapping,
+    method: str = "auto",
+    width: Optional[int] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> List[bool]:
+    """Decide ``µ ∈ ⟦P_i⟧G`` for many patterns over one graph.
+
+    All patterns share one cache, so the graph index is built once and
+    homomorphism sub-instances common to several patterns are solved once.
+    """
+    cache = cache if cache is not None else EvaluationCache()
+    return [
+        _as_engine(pattern, cache).contains(graph, mu, method=method, width=width)
+        for pattern in patterns
+    ]
+
+
+def contains_matrix(
+    patterns: Iterable[PatternLike],
+    graph: RDFGraph,
+    mappings: Iterable[Mapping],
+    method: str = "auto",
+    width: Optional[int] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> List[List[bool]]:
+    """The full answer matrix: one row per pattern, one column per mapping.
+
+    Covers the "many patterns × many mappings over one graph" workload with
+    a single shared cache.
+    """
+    cache = cache if cache is not None else EvaluationCache()
+    mappings = list(mappings)
+    return [
+        BatchEngine.from_engine(_as_engine(pattern, cache)).contains_many(
+            graph, mappings, method=method, width=width
+        )
+        for pattern in patterns
+    ]

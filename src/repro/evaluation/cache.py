@@ -1,0 +1,356 @@
+"""Shared memoization for the wdEVAL engines.
+
+Answering many wdEVAL instances against one RDF graph repeats a lot of work:
+every extension test of the natural algorithm rebuilds a triple index over
+the whole graph, distinct mappings that agree on the variables a child
+actually shares with the witness subtree re-run the identical homomorphism
+search, and the subtree bookkeeping (children, ``pat(T')``, ``vars(T')``) is
+recomputed per call even though it only depends on the (immutable) pattern
+tree.  :class:`EvaluationCache` memoizes all of it:
+
+* **homomorphism tests** — keyed on the canonicalized instance
+  ``(triples, fixed-bindings)``, where the fixed bindings are ``µ``
+  restricted to the variables the triples actually mention, so distinct
+  mappings that induce the same sub-instance share one search;
+* **pebble-game verdicts** — keyed the same way plus the distinguished set
+  and the number of pebbles;
+* **µ-subtree lookups** — the witness subtree ``T^µ`` per ``(tree, µ)``;
+* **target indexes** — one prebuilt
+  :class:`~repro.hom.homomorphism.TargetIndex` per graph, shared by every
+  memoized search;
+* **subtree tables** — per-tree maps from a subtree's node set to its
+  children / pattern / variables, shared across graphs.
+
+Graph-dependent entries live in per-graph stores keyed on
+``RDFGraph.version``; mutating a graph (``add`` / ``discard``) bumps the
+version, so the next lookup transparently drops every stale entry for that
+graph.  Stores are evicted when their graph is garbage collected, and
+``max_entries_per_graph`` bounds each store FIFO-style; the same limit also
+caps the number of per-tree structure tables (which pin their trees), so a
+bounded cache stays bounded even over a stream of distinct patterns.  With
+the default ``max_entries_per_graph=None`` the cache grows without limit
+and holds strong references to every tree it has seen — prefer a bound for
+long-lived shared caches.
+
+A cache is shared safely between any number of :class:`Engine` /
+:class:`BatchEngine` instances — entries are keyed on the evaluated
+sub-instances, not on the owning engine, so patterns with common structure
+benefit from each other's work.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..hom.homomorphism import TargetIndex, find_homomorphism, target_index
+from ..hom.tgraph import GeneralizedTGraph, TGraph
+from ..patterns.tree import Subtree, WDPatternTree
+from ..pebble.game import pebble_game_winner
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Term, Variable
+from ..sparql.mappings import Mapping
+
+__all__ = ["CacheStatistics", "EvaluationCache"]
+
+
+class CacheStatistics:
+    """Hit/miss counters of one :class:`EvaluationCache` (for diagnostics)."""
+
+    __slots__ = (
+        "hom_hits",
+        "hom_misses",
+        "pebble_hits",
+        "pebble_misses",
+        "subtree_hits",
+        "subtree_misses",
+        "invalidations",
+        "evictions",
+    )
+
+    def __init__(self) -> None:
+        self.hom_hits = 0
+        self.hom_misses = 0
+        self.pebble_hits = 0
+        self.pebble_misses = 0
+        self.subtree_hits = 0
+        self.subtree_misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across all memoized operations."""
+        return self.hom_hits + self.pebble_hits + self.subtree_hits
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across all memoized operations."""
+        return self.hom_misses + self.pebble_misses + self.subtree_misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dictionary (for tables and logs)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStatistics(hits={self.hits}, misses={self.misses}, "
+            f"invalidations={self.invalidations}, evictions={self.evictions})"
+        )
+
+
+class _GraphStore:
+    """Per-graph memo tables, valid for a single graph version."""
+
+    __slots__ = ("version", "index", "hom", "pebble", "subtree")
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        self.index: Optional[TargetIndex] = None
+        self.hom: Dict[Tuple, bool] = {}
+        self.pebble: Dict[Tuple, bool] = {}
+        self.subtree: Dict[Tuple, Optional[FrozenSet[int]]] = {}
+
+    def reset(self, version: int) -> None:
+        self.version = version
+        self.index = None
+        self.hom.clear()
+        self.pebble.clear()
+        self.subtree.clear()
+
+    def entry_count(self) -> int:
+        return len(self.hom) + len(self.pebble) + len(self.subtree)
+
+
+class _TreeTable:
+    """Graph-independent structure tables of one pattern tree.
+
+    Holds a strong reference to the tree so that the ``id()``-based key
+    stays valid for the lifetime of the table.
+    """
+
+    __slots__ = ("tree", "children", "pat", "variables", "extended")
+
+    def __init__(self, tree: WDPatternTree) -> None:
+        self.tree = tree
+        self.children: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+        self.pat: Dict[FrozenSet[int], TGraph] = {}
+        self.variables: Dict[FrozenSet[int], FrozenSet[Variable]] = {}
+        self.extended: Dict[Tuple[FrozenSet[int], int], GeneralizedTGraph] = {}
+
+
+class EvaluationCache:
+    """Memoization shared by the evaluation engines (see the module docs).
+
+    Parameters
+    ----------
+    max_entries_per_graph:
+        Upper bound on the number of memoized results kept per graph; the
+        oldest entries are evicted first.  ``None`` (the default) means
+        unbounded.
+    """
+
+    def __init__(self, max_entries_per_graph: Optional[int] = None) -> None:
+        if max_entries_per_graph is not None and max_entries_per_graph < 1:
+            raise ValueError("max_entries_per_graph must be positive")
+        self._max_entries = max_entries_per_graph
+        self._graphs: Dict[int, _GraphStore] = {}
+        self._trees: Dict[int, _TreeTable] = {}
+        self._statistics = CacheStatistics()
+
+    # --- introspection -----------------------------------------------------
+    @property
+    def statistics(self) -> CacheStatistics:
+        """The live hit/miss counters of this cache."""
+        return self._statistics
+
+    def __repr__(self) -> str:
+        entries = sum(store.entry_count() for store in self._graphs.values())
+        return f"EvaluationCache(<{len(self._graphs)} graphs, {entries} entries>)"
+
+    # --- lifecycle ---------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every memoized entry (graph stores and tree tables)."""
+        self._graphs.clear()
+        self._trees.clear()
+
+    def invalidate(self, graph: Optional[RDFGraph] = None) -> None:
+        """Explicitly drop the entries of *graph* (or of every graph).
+
+        Mutating a graph through :meth:`RDFGraph.add` / ``discard`` already
+        invalidates transparently via the version counter; this exists for
+        callers that replace a graph's contents through other means.
+        """
+        if graph is None:
+            self._graphs.clear()
+        else:
+            self._graphs.pop(id(graph), None)
+        self._statistics.invalidations += 1
+
+    # --- stores ------------------------------------------------------------
+    def _store(self, graph: RDFGraph) -> _GraphStore:
+        key = id(graph)
+        store = self._graphs.get(key)
+        if store is None:
+            store = _GraphStore(graph.version)
+            self._graphs[key] = store
+            # Evict the store when the graph is collected so that a recycled
+            # id() can never alias stale entries.
+            graphs = self._graphs
+            weakref.finalize(graph, graphs.pop, key, None)
+        elif store.version != graph.version:
+            store.reset(graph.version)
+            self._statistics.invalidations += 1
+        return store
+
+    def _tree_table(self, tree: WDPatternTree) -> _TreeTable:
+        table = self._trees.get(id(tree))
+        if table is None:
+            if self._max_entries is not None and len(self._trees) >= self._max_entries:
+                self._evict_tree_table()
+            table = _TreeTable(tree)
+            self._trees[id(tree)] = table
+        return table
+
+    def _evict_tree_table(self) -> None:
+        """Drop the oldest tree table (and with it the strong pin on its tree).
+
+        The evicted table's tree may be garbage collected afterwards, so its
+        ``id()`` can be recycled; every ``store.subtree`` entry keyed on that
+        id must go with it.
+        """
+        tree_id = next(iter(self._trees))
+        del self._trees[tree_id]
+        for store in self._graphs.values():
+            stale = [key for key in store.subtree if key[0] == tree_id]
+            for key in stale:
+                del store.subtree[key]
+        self._statistics.evictions += 1
+
+    def _bounded_insert(self, table: Dict, store: _GraphStore, key, value) -> None:
+        if self._max_entries is not None and store.entry_count() >= self._max_entries:
+            for memo in (store.hom, store.pebble, store.subtree):
+                if memo:
+                    memo.pop(next(iter(memo)))
+                    self._statistics.evictions += 1
+                    break
+        table[key] = value
+
+    # --- memoized primitives ----------------------------------------------
+    def target_index(self, graph: RDFGraph) -> TargetIndex:
+        """The (per-version memoized) triple index of *graph*."""
+        store = self._store(graph)
+        if store.index is None:
+            store.index = target_index(graph)
+        return store.index
+
+    def extension_exists(self, triples: TGraph, graph: RDFGraph, mu: Mapping) -> bool:
+        """Memoized ``extends_into(triples, graph, µ) is not None``.
+
+        The key restricts ``µ`` to the variables of *triples*, so mappings
+        that agree there share a single homomorphism search.
+        """
+        store = self._store(graph)
+        fixed: Dict[Variable, Term] = {
+            var: mu[var] for var in triples.variables() & mu.domain()
+        }
+        key = (triples.triples(), frozenset(fixed.items()))
+        cached = store.hom.get(key)
+        if cached is not None:
+            self._statistics.hom_hits += 1
+            return cached
+        self._statistics.hom_misses += 1
+        result = (
+            find_homomorphism(triples, graph, fixed, self.target_index(graph)) is not None
+        )
+        self._bounded_insert(store.hom, store, key, result)
+        return result
+
+    def pebble_winner(
+        self, extended: GeneralizedTGraph, graph: RDFGraph, mu: Mapping, pebbles: int
+    ) -> bool:
+        """Memoized existential *pebbles*-pebble game verdict
+        ``(S, X) →µ_pebbles G``."""
+        store = self._store(graph)
+        fixed = frozenset(
+            (var, mu[var]) for var in extended.distinguished if var in mu
+        )
+        key = (extended.triples(), extended.distinguished, fixed, pebbles)
+        cached = store.pebble.get(key)
+        if cached is not None:
+            self._statistics.pebble_hits += 1
+            return cached
+        self._statistics.pebble_misses += 1
+        result = pebble_game_winner(extended, graph, mu, pebbles)
+        self._bounded_insert(store.pebble, store, key, result)
+        return result
+
+    def mu_subtree(
+        self, tree: WDPatternTree, graph: RDFGraph, mu: Mapping
+    ) -> Optional[Subtree]:
+        """Memoized witness subtree ``T^µ`` (``None`` when none exists)."""
+        from .wdeval import find_mu_subtree  # deferred: wdeval imports this module
+
+        store = self._store(graph)
+        self._tree_table(tree)  # pin the tree so the id() key stays valid
+        key = (id(tree), frozenset(mu.items()))
+        if key in store.subtree:
+            self._statistics.subtree_hits += 1
+            nodes = store.subtree[key]
+        else:
+            self._statistics.subtree_misses += 1
+            subtree = find_mu_subtree(tree, graph, mu)
+            nodes = subtree.nodes if subtree is not None else None
+            self._bounded_insert(store.subtree, store, key, nodes)
+        if nodes is None:
+            return None
+        return Subtree(tree, nodes)
+
+    # --- per-tree structure tables ------------------------------------------
+    def subtree_children(self, tree: WDPatternTree, nodes: FrozenSet[int]) -> Tuple[int, ...]:
+        """Memoized ``Subtree.children()`` for the subtree on *nodes*."""
+        table = self._tree_table(tree)
+        children = table.children.get(nodes)
+        if children is None:
+            children = Subtree(tree, nodes).children()
+            table.children[nodes] = children
+        return children
+
+    def subtree_pat(self, tree: WDPatternTree, nodes: FrozenSet[int]) -> TGraph:
+        """Memoized ``pat(T')`` for the subtree on *nodes*."""
+        table = self._tree_table(tree)
+        pat = table.pat.get(nodes)
+        if pat is None:
+            pat = tree.pat_of_nodes(nodes)
+            table.pat[nodes] = pat
+        return pat
+
+    def subtree_variables(self, tree: WDPatternTree, nodes: FrozenSet[int]) -> FrozenSet[Variable]:
+        """Memoized ``vars(T')`` for the subtree on *nodes*."""
+        table = self._tree_table(tree)
+        variables = table.variables.get(nodes)
+        if variables is None:
+            variables = self.subtree_pat(tree, nodes).variables()
+            table.variables[nodes] = variables
+        return variables
+
+    def extended_child_graph(
+        self, tree: WDPatternTree, nodes: FrozenSet[int], child: int
+    ) -> GeneralizedTGraph:
+        """Memoized ``(pat(T') ∪ pat(n), vars(T'))`` for a child *n* of the
+        subtree on *nodes* — the instance the Theorem 1 pebble test runs on."""
+        table = self._tree_table(tree)
+        key = (nodes, child)
+        extended = table.extended.get(key)
+        if extended is None:
+            base = self.subtree_pat(tree, nodes)
+            extended = GeneralizedTGraph(
+                base.union(tree.pat(child)), self.subtree_variables(tree, nodes)
+            )
+            table.extended[key] = extended
+        return extended

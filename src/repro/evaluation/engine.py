@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+from .cache import EvaluationCache
 from .naive import evaluate_pattern, pattern_contains
 from .pebble_eval import forest_contains_pebble
 from .wdeval import EvaluationStatistics, forest_contains, forest_solutions
@@ -49,6 +50,12 @@ class Engine:
         An upper bound on the domination width of the pattern.  When given,
         ``method="pebble"``/``"auto"`` runs the existential
         ``(width_bound+1)``-pebble game and is exact.
+    cache:
+        An optional :class:`~repro.evaluation.cache.EvaluationCache`.  When
+        given, the natural and pebble membership paths memoize homomorphism
+        tests, pebble-game verdicts and witness-subtree lookups per graph
+        version.  One cache may be shared between many engines; results are
+        identical with and without it.
     """
 
     def __init__(
@@ -56,6 +63,7 @@ class Engine:
         pattern: Optional[GraphPattern] = None,
         forest: Optional[WDPatternForest] = None,
         width_bound: Optional[int] = None,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         if pattern is None and forest is None:
             raise EvaluationError("Engine requires a pattern or a forest")
@@ -68,6 +76,7 @@ class Engine:
         self._pattern = pattern
         self._forest = forest
         self._width_bound = width_bound
+        self._cache = cache
         self._domination_width: Optional[int] = None
 
     # --- introspection -----------------------------------------------------------
@@ -85,6 +94,11 @@ class Engine:
     def width_bound(self) -> Optional[int]:
         """The width bound supplied at construction (if any)."""
         return self._width_bound
+
+    @property
+    def cache(self) -> Optional[EvaluationCache]:
+        """The evaluation cache attached to this engine (if any)."""
+        return self._cache
 
     def domination_width(self) -> int:
         """The (computed and cached) domination width of the pattern.
@@ -116,26 +130,56 @@ class Engine:
         if method == "naive":
             return pattern_contains(self._pattern, graph, mu)
         if method == "natural":
-            return forest_contains(self._forest, graph, mu, statistics)
+            return forest_contains(self._forest, graph, mu, statistics, self._cache)
         if method == "pebble":
             bound = width if width is not None else self._width_bound
             if bound is None:
                 bound = self.domination_width()
-            return forest_contains_pebble(self._forest, graph, mu, bound, statistics)
+            return forest_contains_pebble(self._forest, graph, mu, bound, statistics, self._cache)
         # auto: prefer the pebble algorithm when a certified bound is cheap to
         # obtain, otherwise fall back to the exact natural algorithm.
         bound = width if width is not None else self._width_bound
         if bound is not None or self._domination_width is not None:
             bound = bound if bound is not None else self._domination_width
-            return forest_contains_pebble(self._forest, graph, mu, bound, statistics)
-        return forest_contains(self._forest, graph, mu, statistics)
+            return forest_contains_pebble(self._forest, graph, mu, bound, statistics, self._cache)
+        return forest_contains(self._forest, graph, mu, statistics, self._cache)
 
-    def contains_all_methods(self, graph: RDFGraph, mu: Mapping) -> Dict[str, bool]:
-        """Run every method on the same instance (used in tests/diagnostics)."""
+    def resolve_method(self, method: str = "auto", width: Optional[int] = None) -> tuple[str, Optional[int]]:
+        """The concrete ``(method, width)`` that :meth:`contains` would run.
+
+        Resolves ``"auto"`` exactly like :meth:`contains` does (without
+        computing the domination width when no bound is known); the batch
+        engine uses this to fix the strategy once for a whole instance set.
+        """
+        if method not in _METHODS:
+            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
+        if method in ("naive", "natural"):
+            return method, None
+        bound = width if width is not None else self._width_bound
+        if bound is None:
+            bound = self._domination_width
+        if method == "pebble":
+            if bound is None:
+                bound = self.domination_width()
+            return "pebble", bound
+        return ("pebble", bound) if bound is not None else ("natural", None)
+
+    def contains_all_methods(
+        self,
+        graph: RDFGraph,
+        mu: Mapping,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> Dict[str, bool]:
+        """Run every method on the same instance (used in tests/diagnostics).
+
+        A supplied *statistics* object accumulates the counters of the
+        natural and pebble runs, exactly as it would over two
+        :meth:`contains` calls (the naive method reports no statistics).
+        """
         return {
             "naive": self.contains(graph, mu, method="naive"),
-            "natural": self.contains(graph, mu, method="natural"),
-            "pebble": self.contains(graph, mu, method="pebble"),
+            "natural": self.contains(graph, mu, method="natural", statistics=statistics),
+            "pebble": self.contains(graph, mu, method="pebble", statistics=statistics),
         }
 
     # --- enumeration -------------------------------------------------------------------------

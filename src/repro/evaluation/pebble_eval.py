@@ -20,7 +20,7 @@ polynomial time; on other inputs its answer may be a false negative, which
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .wdeval import EvaluationStatistics, find_mu_subtree
 from ..hom.tgraph import GeneralizedTGraph
@@ -29,6 +29,9 @@ from ..patterns.tree import WDPatternTree
 from ..pebble.game import pebble_game_winner
 from ..rdf.graph import RDFGraph
 from ..sparql.mappings import Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .cache import EvaluationCache
 
 __all__ = ["tree_contains_pebble", "forest_contains_pebble"]
 
@@ -39,18 +42,34 @@ def tree_contains_pebble(
     mu: Mapping,
     k: int,
     statistics: Optional[EvaluationStatistics] = None,
+    cache: Optional["EvaluationCache"] = None,
 ) -> bool:
     """The per-tree acceptance test of the Theorem 1 algorithm.
 
     Returns ``True`` when the witness subtree exists and no child passes the
     ``(k+1)``-pebble extension test.  Sound for every input; complete when
     ``dw ≤ k``.
+
+    With a *cache*, the witness-subtree lookup, the per-child instance
+    construction and the pebble-game verdicts are memoized per graph version
+    (identical answers, see :mod:`repro.evaluation.cache`).
     """
-    subtree = find_mu_subtree(tree, graph, mu)
+    if cache is not None:
+        subtree = cache.mu_subtree(tree, graph, mu)
+    else:
+        subtree = find_mu_subtree(tree, graph, mu)
     if subtree is None:
         return False
     if statistics is not None:
         statistics.subtree_found += 1
+    if cache is not None:
+        for child in cache.subtree_children(tree, subtree.nodes):
+            if statistics is not None:
+                statistics.child_checks += 1
+            extended = cache.extended_child_graph(tree, subtree.nodes, child)
+            if cache.pebble_winner(extended, graph, mu, k + 1):
+                return False
+        return True
     base = subtree.pat()
     distinguished = subtree.variables()
     for child in subtree.children():
@@ -68,6 +87,7 @@ def forest_contains_pebble(
     mu: Mapping,
     k: int,
     statistics: Optional[EvaluationStatistics] = None,
+    cache: Optional["EvaluationCache"] = None,
 ) -> bool:
     """The Theorem 1 algorithm on a forest: accept iff some tree accepts.
 
@@ -79,6 +99,6 @@ def forest_contains_pebble(
     for tree in forest:
         if statistics is not None:
             statistics.trees_visited += 1
-        if tree_contains_pebble(tree, graph, mu, k, statistics):
+        if tree_contains_pebble(tree, graph, mu, k, statistics, cache):
             return True
     return False

@@ -21,7 +21,7 @@ examples and as a second reference semantics in the tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..hom.homomorphism import all_homomorphisms, extends_into, find_homomorphism
 from ..hom.tgraph import TGraph
@@ -31,6 +31,9 @@ from ..rdf.graph import RDFGraph
 from ..rdf.terms import Variable
 from ..sparql.mappings import Mapping
 from ..exceptions import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .cache import EvaluationCache
 
 __all__ = [
     "find_mu_subtree",
@@ -98,18 +101,33 @@ def tree_contains(
     graph: RDFGraph,
     mu: Mapping,
     statistics: Optional[EvaluationStatistics] = None,
+    cache: Optional["EvaluationCache"] = None,
 ) -> bool:
     """``µ ∈ ⟦T⟧G`` via Lemma 1 (the natural algorithm, exact but with
-    NP-hard child tests)."""
-    subtree = find_mu_subtree(tree, graph, mu)
+    NP-hard child tests).
+
+    With a *cache*, the witness-subtree lookup and the child extension tests
+    are memoized per graph version (identical answers, see
+    :mod:`repro.evaluation.cache`).
+    """
+    if cache is not None:
+        subtree = cache.mu_subtree(tree, graph, mu)
+    else:
+        subtree = find_mu_subtree(tree, graph, mu)
     if subtree is None:
         return False
     if statistics is not None:
         statistics.subtree_found += 1
-    for child in subtree.children():
+    children = (
+        cache.subtree_children(tree, subtree.nodes) if cache is not None else subtree.children()
+    )
+    for child in children:
         if statistics is not None:
             statistics.child_checks += 1
-        if extends_into(tree.pat(child), graph, mu) is not None:
+        if cache is not None:
+            if cache.extension_exists(tree.pat(child), graph, mu):
+                return False
+        elif extends_into(tree.pat(child), graph, mu) is not None:
             return False
     return True
 
@@ -119,12 +137,13 @@ def forest_contains(
     graph: RDFGraph,
     mu: Mapping,
     statistics: Optional[EvaluationStatistics] = None,
+    cache: Optional["EvaluationCache"] = None,
 ) -> bool:
     """``µ ∈ ⟦F⟧G = ⟦T1⟧G ∪ ... ∪ ⟦Tm⟧G`` via the natural algorithm."""
     for tree in forest:
         if statistics is not None:
             statistics.trees_visited += 1
-        if tree_contains(tree, graph, mu, statistics):
+        if tree_contains(tree, graph, mu, statistics, cache):
             return True
     return False
 

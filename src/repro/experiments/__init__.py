@@ -3,6 +3,7 @@
 from .harness import (
     ExperimentResult,
     time_callable,
+    time_batched_membership,
     EXPERIMENT_REGISTRY,
     register_experiment,
     run_experiment,
@@ -23,6 +24,7 @@ from .experiments import (
 __all__ = [
     "ExperimentResult",
     "time_callable",
+    "time_batched_membership",
     "EXPERIMENT_REGISTRY",
     "register_experiment",
     "run_experiment",

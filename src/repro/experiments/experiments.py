@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence
 
-from .harness import ExperimentResult, register_experiment, time_callable
+from .harness import ExperimentResult, register_experiment, time_batched_membership, time_callable
 from ..evaluation import (
     evaluate_pattern,
     forest_contains,
@@ -173,11 +173,9 @@ def experiment_e4_theorem1_scaling(
             queries = _membership_queries(forest, graph)
             if not queries:
                 continue
-            t_nat, answers_nat = time_callable(
-                lambda: [forest_contains(forest, graph, mu) for mu in queries]
-            )
-            t_peb, answers_peb = time_callable(
-                lambda: [forest_contains_pebble(forest, graph, mu, 1) for mu in queries]
+            t_nat, answers_nat = time_batched_membership(forest, graph, queries, method="natural")
+            t_peb, answers_peb = time_batched_membership(
+                forest, graph, queries, method="pebble", width=1
             )
             result.add_row(
                 **{
@@ -331,9 +329,7 @@ def experiment_e9_dichotomy_frontier(
         forest = fk_forest(k)
         graph = fk_data_graph(graph_size, graph_size * 6, clique_size=k, seed=k)
         queries = _membership_queries(forest, graph)
-        elapsed, _ = time_callable(
-            lambda: [forest_contains_pebble(forest, graph, mu, 1) for mu in queries]
-        )
+        elapsed, _ = time_batched_membership(forest, graph, queries, method="pebble", width=1)
         result.add_row(**{"family": "F_k (dw=1)", "k": k, "dw/bw": 1, "t_membership (s)": elapsed})
     for k in unbounded_ks:
         tree = hard_clique_tree(k)
@@ -343,9 +339,7 @@ def experiment_e9_dichotomy_frontier(
 
         graph = clique_query_data_graph(host)
         queries = _membership_queries(forest, graph)
-        elapsed, _ = time_callable(
-            lambda: [forest_contains(forest, graph, mu) for mu in queries]
-        )
+        elapsed, _ = time_batched_membership(forest, graph, queries, method="natural")
         result.add_row(
             **{"family": "Q_k (dw=k-1)", "k": k, "dw/bw": k - 1, "t_membership (s)": elapsed}
         )

@@ -13,7 +13,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["ExperimentResult", "time_callable", "EXPERIMENT_REGISTRY", "register_experiment", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "time_callable",
+    "time_batched_membership",
+    "EXPERIMENT_REGISTRY",
+    "register_experiment",
+    "run_experiment",
+]
 
 
 @dataclass
@@ -92,6 +99,34 @@ def time_callable(function: Callable[[], object], repeat: int = 1) -> tuple[floa
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     return best, result
+
+
+def time_batched_membership(
+    forest,
+    graph,
+    queries: Sequence,
+    method: str = "natural",
+    width: Optional[int] = None,
+    width_bound: Optional[int] = None,
+    processes: Optional[int] = None,
+    repeat: int = 1,
+) -> tuple[float, List[bool]]:
+    """Time a whole membership workload through the cached batch engine.
+
+    Answers every query in *queries* against *graph* in one batched call
+    (best wall-clock over *repeat* runs, like :func:`time_callable`).  A
+    fresh :class:`~repro.evaluation.batch.BatchEngine` — and hence a fresh,
+    cold cache — is built inside the timed callable, so every repeat
+    measures the full batched evaluation rather than warm-cache lookups.
+    This is the path the experiment drivers use for their timing series.
+    """
+    from ..evaluation import BatchEngine
+
+    def run() -> List[bool]:
+        batch = BatchEngine(forest=forest, width_bound=width_bound, processes=processes)
+        return batch.contains_many(graph, queries, method=method, width=width)
+
+    return time_callable(run, repeat)
 
 
 #: Registry mapping experiment id to a callable returning an ExperimentResult.

@@ -11,6 +11,8 @@ from .homomorphism import (
     maps_to,
     maps_into,
     extends_into,
+    TargetIndex,
+    target_index,
 )
 from .core import core_of, is_core, is_core_of, hom_equivalent
 from .treewidth import (
@@ -38,6 +40,8 @@ __all__ = [
     "maps_to",
     "maps_into",
     "extends_into",
+    "TargetIndex",
+    "target_index",
     "core_of",
     "is_core",
     "is_core_of",

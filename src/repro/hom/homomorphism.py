@@ -43,6 +43,8 @@ __all__ = [
     "maps_into",
     "extends_into",
     "homomorphism_count",
+    "TargetIndex",
+    "target_index",
 ]
 
 _TargetTriples = FrozenSet[TriplePattern]
@@ -56,7 +58,7 @@ def _target_triples(target: TGraph | RDFGraph | Iterable[TriplePattern]) -> _Tar
     return frozenset(target)
 
 
-class _TargetIndex:
+class TargetIndex:
     """Index of the target triples by every mask of bound positions."""
 
     __slots__ = ("triples", "_index", "terms")
@@ -87,8 +89,23 @@ class _TargetIndex:
         return self._index.get((s, p, o), ())
 
 
+#: Backwards-compatible private alias.
+_TargetIndex = TargetIndex
+
+
+def target_index(target: TGraph | RDFGraph | Iterable[TriplePattern]) -> TargetIndex:
+    """Build a reusable :class:`TargetIndex` over *target*.
+
+    Building the index costs ``O(|target|)``; the search helpers accept a
+    prebuilt index via their ``index=`` parameter so that callers answering
+    many homomorphism queries against one target (notably the evaluation
+    cache) pay that cost only once.
+    """
+    return TargetIndex(_target_triples(target))
+
+
 def _compatible_targets(
-    pattern: TriplePattern, assignment: Mapping[Variable, Term], index: _TargetIndex
+    pattern: TriplePattern, assignment: Mapping[Variable, Term], index: TargetIndex
 ) -> Iterator[TriplePattern]:
     """Target triples that the partially-assigned *pattern* could map onto."""
 
@@ -123,7 +140,7 @@ def _compatible_targets(
 def _triple_domains(
     pattern: TriplePattern,
     assignment: Mapping[Variable, Term],
-    index: _TargetIndex,
+    index: TargetIndex,
     restrict_to: Optional[Mapping[Variable, Set[Term]]] = None,
 ) -> Dict[Variable, Set[Term]]:
     """For one triple with at least one unassigned variable, the values its
@@ -145,7 +162,7 @@ def _triple_domains(
 
 def _search(
     source: Sequence[TriplePattern],
-    index: _TargetIndex,
+    index: TargetIndex,
     fixed: Dict[Variable, Term],
 ) -> Iterator[Dict[Variable, Term]]:
     """Backtracking search with forward checking over maintained domains."""
@@ -226,13 +243,14 @@ def find_homomorphism(
     source: TGraph | Iterable[TriplePattern],
     target: TGraph | RDFGraph | Iterable[TriplePattern],
     fixed: Optional[Mapping[Variable, Term]] = None,
+    index: Optional[TargetIndex] = None,
 ) -> Optional[Dict[Variable, Term]]:
     """Find one homomorphism from *source* to *target* respecting *fixed*.
 
     Returns a dictionary with domain exactly ``vars(source)`` (including the
     fixed variables) or ``None`` when no homomorphism exists.
     """
-    for hom in all_homomorphisms(source, target, fixed):
+    for hom in all_homomorphisms(source, target, fixed, index):
         return hom
     return None
 
@@ -241,10 +259,17 @@ def all_homomorphisms(
     source: TGraph | Iterable[TriplePattern],
     target: TGraph | RDFGraph | Iterable[TriplePattern],
     fixed: Optional[Mapping[Variable, Term]] = None,
+    index: Optional[TargetIndex] = None,
 ) -> Iterator[Dict[Variable, Term]]:
-    """Iterate over all homomorphisms from *source* to *target*."""
+    """Iterate over all homomorphisms from *source* to *target*.
+
+    A prebuilt *index* over the target (from :func:`target_index`) skips the
+    per-call index construction; it must describe exactly the triples of
+    *target*.
+    """
     source_triples = list(source.triples() if isinstance(source, TGraph) else source)
-    index = _TargetIndex(_target_triples(target))
+    if index is None:
+        index = TargetIndex(_target_triples(target))
     fixed_dict: Dict[Variable, Term] = dict(fixed or {})
     source_vars: Set[Variable] = set()
     for t in source_triples:
@@ -258,9 +283,10 @@ def has_homomorphism(
     source: TGraph | Iterable[TriplePattern],
     target: TGraph | RDFGraph | Iterable[TriplePattern],
     fixed: Optional[Mapping[Variable, Term]] = None,
+    index: Optional[TargetIndex] = None,
 ) -> bool:
     """``True`` iff some homomorphism exists."""
-    return find_homomorphism(source, target, fixed) is not None
+    return find_homomorphism(source, target, fixed, index) is not None
 
 
 def homomorphism_count(
@@ -307,6 +333,7 @@ def extends_into(
     triples: Iterable[TriplePattern],
     graph: RDFGraph,
     mu: SolutionMapping,
+    index: Optional[TargetIndex] = None,
 ) -> Optional[Dict[Variable, Term]]:
     """Find a homomorphism ``ν`` from *triples* to *graph* compatible with ``µ``.
 
@@ -319,4 +346,4 @@ def extends_into(
     for t in triples:
         relevant_vars.update(t.variables())
     fixed = {var: mu[var] for var in relevant_vars & mu.domain()}
-    return find_homomorphism(triples, graph, fixed)
+    return find_homomorphism(triples, graph, fixed, index)

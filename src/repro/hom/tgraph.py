@@ -43,6 +43,9 @@ class TGraph:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("TGraph instances are immutable")
 
+    def __reduce__(self):
+        return (TGraph, (tuple(self._triples),))
+
     # --- constructors ---------------------------------------------------------
     @classmethod
     def of(cls, *patterns: tuple) -> "TGraph":
@@ -163,6 +166,9 @@ class GeneralizedTGraph:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("GeneralizedTGraph instances are immutable")
+
+    def __reduce__(self):
+        return (GeneralizedTGraph, (self.tgraph, self.distinguished))
 
     # --- constructors ----------------------------------------------------------------
     @classmethod

@@ -34,6 +34,9 @@ class WDPatternForest:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("WDPatternForest instances are immutable")
 
+    def __reduce__(self):
+        return (WDPatternForest, (self._trees,))
+
     # --- container protocol ----------------------------------------------------
     def __iter__(self) -> Iterator[WDPatternTree]:
         return iter(self._trees)

@@ -93,6 +93,10 @@ class WDPatternTree:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("WDPatternTree instances are immutable")
 
+    def __reduce__(self):
+        # Connectivity was validated at construction time; skip it on restore.
+        return (WDPatternTree, (self._labels, self._parent, self._root, False))
+
     # --- constructors ----------------------------------------------------------
     @classmethod
     def from_node_specs(
@@ -326,6 +330,9 @@ class Subtree:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Subtree instances are immutable")
+
+    def __reduce__(self):
+        return (Subtree, (self.tree, self.nodes))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Subtree) and self.tree is other.tree and self.nodes == other.nodes

@@ -32,7 +32,17 @@ class RDFGraph:
     True
     """
 
-    __slots__ = ("_triples", "_by_s", "_by_p", "_by_o", "_by_sp", "_by_po", "_by_so")
+    __slots__ = (
+        "_triples",
+        "_by_s",
+        "_by_p",
+        "_by_o",
+        "_by_sp",
+        "_by_po",
+        "_by_so",
+        "_version",
+        "__weakref__",
+    )
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
         self._triples: Set[Triple] = set()
@@ -42,6 +52,7 @@ class RDFGraph:
         self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
         self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
         self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._version = 0
         for t in triples:
             self.add(t)
 
@@ -63,6 +74,7 @@ class RDFGraph:
         if triple in self._triples:
             return self
         self._triples.add(triple)
+        self._version += 1
         s, p, o = triple.subject, triple.predicate, triple.object
         self._by_s[s].add(triple)
         self._by_p[p].add(triple)
@@ -83,6 +95,7 @@ class RDFGraph:
         if triple not in self._triples:
             return self
         self._triples.discard(triple)
+        self._version += 1
         s, p, o = triple.subject, triple.predicate, triple.object
         self._by_s[s].discard(triple)
         self._by_p[p].discard(triple)
@@ -95,6 +108,19 @@ class RDFGraph:
     def copy(self) -> "RDFGraph":
         """A shallow copy (triples are immutable, so this is a full copy)."""
         return RDFGraph(self._triples)
+
+    @property
+    def version(self) -> int:
+        """A counter incremented on every mutation (add/discard of a triple).
+
+        Evaluation caches key their per-graph entries on this counter, so any
+        mutation of the graph transparently invalidates everything cached for
+        it (see :class:`repro.evaluation.cache.EvaluationCache`).
+        """
+        return self._version
+
+    def __reduce__(self):
+        return (RDFGraph, (tuple(self._triples),))
 
     def union(self, other: "RDFGraph") -> "RDFGraph":
         """A new graph containing the triples of both graphs."""

@@ -61,6 +61,12 @@ class IRI(Term):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IRI instances are immutable")
 
+    def __reduce__(self):
+        # Immutable slotted classes cannot use the default pickle protocol
+        # (restoring state calls the blocked __setattr__); rebuild through the
+        # constructor instead.  Needed by the multiprocessing batch engine.
+        return (IRI, (self.value,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, IRI) and self.value == other.value
 
@@ -105,6 +111,9 @@ class Literal(Term):
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Literal instances are immutable")
+
+    def __reduce__(self):
+        return (Literal, (self.value, self.datatype, self.language))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -163,6 +172,9 @@ class Variable(Term):
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Variable instances are immutable")
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Variable) and self.name == other.name

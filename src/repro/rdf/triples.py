@@ -67,6 +67,9 @@ class TriplePattern:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("TriplePattern instances are immutable")
 
+    def __reduce__(self):
+        return (TriplePattern, (self.subject, self.predicate, self.object))
+
     # --- basic protocol -------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         return (

@@ -44,6 +44,9 @@ class Mapping:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Mapping instances are immutable")
 
+    def __reduce__(self):
+        return (Mapping, (dict(self._bindings),))
+
     # --- constructors ---------------------------------------------------------
     @classmethod
     def of(cls, **bindings: object) -> "Mapping":

@@ -1,0 +1,197 @@
+"""Unit tests for the batch evaluation service layer."""
+
+import pickle
+
+import pytest
+
+from repro.evaluation import (
+    BatchEngine,
+    Engine,
+    EvaluationCache,
+    EvaluationStatistics,
+    contains_many_patterns,
+    contains_matrix,
+)
+from repro.exceptions import EvaluationError
+from repro.rdf import RDFGraph, Triple
+from repro.rdf.namespace import EX
+from repro.rdf.terms import IRI, Variable
+from repro.sparql import Mapping, parse_pattern
+from repro.workloads.families import fk_data_graph, fk_forest, tprime_data_graph, tprime_tree
+from repro.patterns import WDPatternForest
+
+
+@pytest.fixture
+def setting():
+    forest = fk_forest(2)
+    graph = fk_data_graph(6, 30, clique_size=2, seed=2)
+    engine = Engine(forest=forest, width_bound=1)
+    solutions = sorted(engine.solutions(graph, method="natural"), key=repr)[:6]
+    queries = list(solutions)
+    for mu in solutions[:3]:
+        bindings = mu.as_dict()
+        first = sorted(bindings, key=lambda v: v.name)[0]
+        bindings[first] = IRI("http://example.org/__nowhere__")
+        queries.append(Mapping(bindings))
+    return forest, graph, engine, queries
+
+
+class TestContainsMany:
+    @pytest.mark.parametrize("method", ["naive", "natural", "pebble", "auto"])
+    def test_identical_to_single_shot(self, setting, method):
+        forest, graph, engine, queries = setting
+        expected = [engine.contains(graph, mu, method=method) for mu in queries]
+        batch = BatchEngine(forest=forest, width_bound=1)
+        assert batch.contains_many(graph, queries, method=method) == expected
+
+    def test_preserves_order_and_duplicates(self, setting):
+        forest, graph, engine, queries = setting
+        doubled = queries + list(reversed(queries))
+        batch = BatchEngine(forest=forest, width_bound=1)
+        answers = batch.contains_many(graph, doubled)
+        assert answers == [engine.contains(graph, mu) for mu in doubled]
+        assert answers[: len(queries)] == list(reversed(answers[len(queries) :]))
+
+    def test_empty_input(self, setting):
+        forest, graph, _, _ = setting
+        assert BatchEngine(forest=forest).contains_many(graph, []) == []
+
+    def test_parallel_identical(self, setting):
+        forest, graph, engine, queries = setting
+        expected = [engine.contains(graph, mu, method="pebble") for mu in queries]
+        batch = BatchEngine(forest=forest, width_bound=1, processes=2)
+        assert batch.contains_many(graph, queries, method="pebble") == expected
+        # per-call override too
+        batch2 = BatchEngine(forest=forest, width_bound=1)
+        assert batch2.contains_many(graph, queries, method="pebble", processes=2) == expected
+
+    def test_statistics_accumulated_serially(self, setting):
+        forest, graph, _, queries = setting
+        statistics = EvaluationStatistics()
+        BatchEngine(forest=forest, width_bound=1).contains_many(
+            graph, queries, method="natural", statistics=statistics
+        )
+        assert statistics.trees_visited > 0
+
+    def test_auto_resolved_once(self, setting):
+        forest, graph, engine, queries = setting
+        batch = BatchEngine(forest=forest, width_bound=1)
+        expected = [engine.contains(graph, mu, method="auto") for mu in queries]
+        assert batch.contains_many(graph, queries, method="auto") == expected
+
+    def test_naive_batched_materialises_once(self, setting):
+        forest, graph, engine, queries = setting
+        batch = BatchEngine(forest=forest, width_bound=1)
+        expected = [engine.contains(graph, mu, method="naive") for mu in queries]
+        assert batch.contains_many(graph, queries, method="naive") == expected
+
+
+class TestConstruction:
+    def test_requires_pattern_or_forest(self):
+        with pytest.raises(EvaluationError):
+            BatchEngine()
+
+    def test_invalid_processes(self):
+        with pytest.raises(EvaluationError):
+            BatchEngine(parse_pattern("(?x p ?y)"), processes=0)
+
+    def test_creates_cache_by_default(self):
+        batch = BatchEngine(parse_pattern("(?x p ?y)"))
+        assert isinstance(batch.cache, EvaluationCache)
+        assert batch.engine.cache is batch.cache
+
+    def test_from_engine_shares_cache(self):
+        cache = EvaluationCache()
+        engine = Engine(parse_pattern("(?x p ?y)"), cache=cache)
+        batch = BatchEngine.from_engine(engine)
+        assert batch.cache is cache
+
+    def test_passthroughs(self):
+        graph = RDFGraph([Triple.of("a", "knows", "b")])
+        batch = BatchEngine(parse_pattern("((?x knows ?y) OPT (?y email ?e))"))
+        mu = Mapping.of(x="a", y="b")
+        assert batch.contains(graph, mu) is True
+        assert len(batch.solutions(graph)) == 1
+        assert batch.pattern is not None
+        assert len(batch.forest) == 1
+        assert "BatchEngine" in repr(batch)
+
+
+class TestResolveMethod:
+    def test_resolution_matches_contains(self):
+        engine = Engine(forest=fk_forest(2), width_bound=1)
+        assert engine.resolve_method("natural") == ("natural", None)
+        assert engine.resolve_method("naive") == ("naive", None)
+        assert engine.resolve_method("pebble") == ("pebble", 1)
+        assert engine.resolve_method("auto") == ("pebble", 1)
+        assert engine.resolve_method("auto", width=2) == ("pebble", 2)
+
+    def test_auto_without_bound_is_natural(self):
+        engine = Engine(forest=fk_forest(2))
+        assert engine.resolve_method("auto") == ("natural", None)
+        # Once the domination width has been computed, auto upgrades to pebble.
+        engine.domination_width()
+        assert engine.resolve_method("auto") == ("pebble", 1)
+
+    def test_unknown_method(self):
+        with pytest.raises(EvaluationError):
+            Engine(forest=fk_forest(2)).resolve_method("quantum")
+
+
+class TestManyPatterns:
+    def test_contains_many_patterns(self):
+        graph = tprime_data_graph(8, 30, seed=6)
+        patterns = [
+            WDPatternForest([tprime_tree(2)]),
+            WDPatternForest([tprime_tree(3)]),
+            parse_pattern("(?x p ?y)"),
+        ]
+        solutions = sorted(
+            Engine(forest=patterns[0]).solutions(graph, method="natural"), key=repr
+        )
+        if not solutions:
+            pytest.skip("random data graph produced no solutions")
+        mu = solutions[0]
+        answers = contains_many_patterns(patterns, graph, mu, method="natural")
+        expected = [
+            Engine(forest=patterns[0]).contains(graph, mu, method="natural"),
+            Engine(forest=patterns[1]).contains(graph, mu, method="natural"),
+            Engine(parse_pattern("(?x p ?y)")).contains(graph, mu, method="natural"),
+        ]
+        assert answers == expected
+
+    def test_contains_matrix_shape_and_answers(self):
+        forest2, forest3 = WDPatternForest([tprime_tree(2)]), WDPatternForest([tprime_tree(3)])
+        graph = tprime_data_graph(8, 30, seed=4)
+        mus = sorted(Engine(forest=forest2).solutions(graph, method="natural"), key=repr)[:3]
+        mus.append(Mapping({Variable("y"): EX.term("nowhere")}))
+        matrix = contains_matrix([forest2, forest3], graph, mus, method="natural")
+        assert len(matrix) == 2 and all(len(row) == len(mus) for row in matrix)
+        for row, forest in zip(matrix, (forest2, forest3)):
+            engine = Engine(forest=forest)
+            assert row == [engine.contains(graph, mu, method="natural") for mu in mus]
+
+    def test_shared_cache_is_used(self):
+        cache = EvaluationCache()
+        graph = tprime_data_graph(6, 20, seed=1)
+        forest = WDPatternForest([tprime_tree(2)])
+        mu = Mapping({Variable("y"): EX.term("nowhere")})
+        contains_many_patterns([forest, forest], graph, mu, method="natural", cache=cache)
+        assert cache.statistics.hits + cache.statistics.misses > 0
+
+    def test_rejects_non_pattern(self):
+        with pytest.raises(EvaluationError):
+            contains_many_patterns([42], RDFGraph(), Mapping.EMPTY)
+
+
+class TestPicklability:
+    def test_engine_building_blocks_round_trip(self):
+        forest = fk_forest(2)
+        graph = fk_data_graph(4, 12, clique_size=2, seed=1)
+        mu = Mapping.of(x="http://example.org/a")
+        for obj in (forest, forest[0], graph, mu):
+            clone = pickle.loads(pickle.dumps(obj))
+            assert type(clone) is type(obj)
+        graph_clone = pickle.loads(pickle.dumps(graph))
+        assert graph_clone == graph
+        assert pickle.loads(pickle.dumps(mu)) == mu

@@ -115,6 +115,113 @@ class TestCheckCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestBatchCommand:
+    @pytest.fixture
+    def bindings_file(self, tmp_path):
+        path = tmp_path / "bindings.txt"
+        path.write_text(
+            "# candidate mappings, one per line\n"
+            "x=http://example.org/alice y=http://example.org/bob "
+            "e=http://example.org/bob-mail\n"
+            "# next line is not maximal\n"
+            "x=http://example.org/alice y=http://example.org/bob\n"
+            "\n"
+            "-\n"
+        )
+        return str(path)
+
+    def test_batch_reports_per_mapping_answers(self, graph_file, bindings_file, capsys):
+        exit_code = main(
+            ["batch", "--graph", graph_file, "--query", QUERY, "--bindings-file", bindings_file]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        lines = [line for line in out.splitlines() if line]
+        assert lines[0].startswith("IN")
+        assert lines[1].startswith("NOT-IN")
+        assert lines[2].startswith("NOT-IN") and lines[2].endswith("-")  # empty mapping
+        assert "# 1 of 3 mapping(s) are solutions" in out
+
+    def test_batch_matches_check(self, graph_file, bindings_file, capsys):
+        main(["batch", "--graph", graph_file, "--query", QUERY, "--bindings-file", bindings_file])
+        batch_out = capsys.readouterr().out
+        check_codes = []
+        for bindings in (
+            ["x=http://example.org/alice", "y=http://example.org/bob", "e=http://example.org/bob-mail"],
+            ["x=http://example.org/alice", "y=http://example.org/bob"],
+        ):
+            argv = ["check", "--graph", graph_file, "--query", QUERY]
+            for b in bindings:
+                argv += ["--binding", b]
+            check_codes.append(main(argv))
+        capsys.readouterr()
+        batch_answers = [line.startswith("IN") for line in batch_out.splitlines()[:2]]
+        assert batch_answers == [code == 0 for code in check_codes]
+
+    def test_batch_with_method_and_stats(self, graph_file, bindings_file, capsys):
+        exit_code = main(
+            [
+                "batch",
+                "--graph",
+                graph_file,
+                "--query",
+                QUERY,
+                "--bindings-file",
+                bindings_file,
+                "--method",
+                "pebble",
+                "--width",
+                "1",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "# cache:" in out
+
+    def test_batch_missing_bindings_file_reports_error(self, graph_file, capsys):
+        exit_code = main(
+            ["batch", "--graph", graph_file, "--query", QUERY, "--bindings-file", "/nonexistent.txt"]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_keeps_fragment_iris_intact(self, tmp_path, capsys):
+        # '#' only comments out whole lines; IRIs with fragments must survive.
+        graph = RDFGraph(
+            [Triple.of("http://example.org/alice", "http://example.org/p", "http://example.org/ns#thing")]
+        )
+        graph_path = tmp_path / "frag.nt"
+        save_graph(graph, graph_path)
+        bindings = tmp_path / "frag.txt"
+        bindings.write_text("x=http://example.org/alice y=http://example.org/ns#thing\n")
+        exit_code = main(
+            [
+                "batch",
+                "--graph",
+                str(graph_path),
+                "--query",
+                "(?x <http://example.org/p> ?y)",
+                "--bindings-file",
+                str(bindings),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "IN" in out and "y=http://example.org/ns#thing" in out
+        assert "# 1 of 1 mapping(s) are solutions" in out
+
+    def test_batch_malformed_line_reports_location(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("x=http://example.org/alice\nnonsense-line\n")
+        exit_code = main(
+            ["batch", "--graph", graph_file, "--query", QUERY, "--bindings-file", str(bad)]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "bad.txt:2" in err
+
+
 class TestClassifyAndValidate:
     def test_classify_reports_widths(self, capsys):
         exit_code = main(["classify", "--query", QUERY])
