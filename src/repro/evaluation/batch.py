@@ -16,8 +16,10 @@ so much faster than a loop of independent :meth:`Engine.contains` calls.
 * batched ``"naive"`` evaluation materialises ``⟦P⟧G`` a single time and
   answers every mapping by set membership;
 * an opt-in :mod:`multiprocessing` pool (``processes=``) splits
-  embarrassingly parallel instance sets across workers, each with its own
-  private cache.
+  embarrassingly parallel instance sets across workers; the µ-independent
+  evaluation state (target index, consistency kernels) is warmed in the
+  parent before forking — so workers inherit it copy-on-write — and rebuilt
+  once per worker in the pool initializer on non-fork start methods.
 
 Answers are guaranteed identical (same booleans, same order) to the
 single-shot engine; the cache and the pool are pure performance features.
@@ -66,9 +68,16 @@ def _as_engine(pattern: PatternLike, cache: Optional[EvaluationCache]) -> Engine
 
 # --- multiprocessing plumbing -------------------------------------------------
 #
-# Workers are initialised once per pool with the (pickled) forest and graph and
-# then stream mappings; each worker owns a private EvaluationCache so the
-# per-graph index and memo tables are built once per worker, not per mapping.
+# Workers are initialised once per pool with the forest and graph and then
+# stream mappings; each worker owns an EvaluationCache so the per-graph index,
+# memo tables and consistency kernels are built once per worker, not per task.
+#
+# With the ``fork`` start method the parent warms its own cache *before* the
+# pool is created and hands the live engine to the initializer — fork does not
+# pickle initargs, so every worker starts with the precomputed kernels and
+# target index already in (copy-on-write shared) memory.  Other start methods
+# receive pickled copies and rebuild the µ-independent state once per worker
+# in the initializer instead of lazily per task.
 
 _WORKER_STATE: Dict[str, object] = {}
 
@@ -79,8 +88,21 @@ def _init_worker(
     graph: RDFGraph,
     method: str,
     width: Optional[int],
+    warm_engine: Optional[Engine] = None,
 ) -> None:
-    _WORKER_STATE["engine"] = Engine(forest=forest, width_bound=width_bound, cache=EvaluationCache())
+    if warm_engine is not None:
+        # Fork path: the parent's engine (and its warmed cache) arrives by
+        # address, not by pickle; reuse it directly.
+        engine = warm_engine
+    else:
+        engine = Engine(forest=forest, width_bound=width_bound, cache=EvaluationCache())
+        cache = engine.cache
+        if cache is not None:
+            if method == "pebble" and width is not None:
+                cache.warm_pebble(forest, graph, width + 1)
+            else:
+                cache.target_index(graph)
+    _WORKER_STATE["engine"] = engine
     _WORKER_STATE["graph"] = graph
     _WORKER_STATE["method"] = method
     _WORKER_STATE["width"] = width
@@ -221,12 +243,58 @@ class BatchEngine:
         processes = min(processes, len(mappings))
         chunksize = max(1, len(mappings) // (processes * 4))
         ctx = multiprocessing.get_context()
+        warm_engine: Optional[Engine] = None
+        if ctx.get_start_method() == "fork":
+            # Build the µ-independent state once in the parent so the workers
+            # fork with warm kernels/indexes instead of rebuilding them.  No
+            # mappings here on purpose: per-mapping witness-subtree lookups
+            # would serialise in the parent (Amdahl); workers do those in
+            # parallel against the copy-on-write shared kernels.
+            self.warm(graph, method=method, width=width)
+            warm_engine = self._engine
         with ctx.Pool(
             processes,
             initializer=_init_worker,
-            initargs=(self._engine.forest, self._engine.width_bound, graph, method, width),
+            initargs=(
+                self._engine.forest,
+                self._engine.width_bound,
+                graph,
+                method,
+                width,
+                warm_engine,
+            ),
         ) as pool:
             return pool.map(_worker_contains, mappings, chunksize=chunksize)
+
+    def warm(
+        self,
+        graph: RDFGraph,
+        mappings: Optional[Iterable[Mapping]] = None,
+        method: str = "auto",
+        width: Optional[int] = None,
+    ) -> int:
+        """Precompute the µ-independent evaluation state for *graph*.
+
+        For the pebble method this builds the shared target index, the graph
+        domain, and the consistency kernels of every ``(witness subtree,
+        child)`` instance the given *mappings* reach (the root-subtree
+        instances when no mappings are given); for the other methods it
+        builds the target index.  Returns the number of kernels ensured.
+        Warming is a pure performance feature — answers are identical with
+        and without it — and is what :meth:`contains_many` does before
+        forking a worker pool.
+        """
+        resolved_method, resolved_width = self._engine.resolve_method(method, width)
+        if resolved_method == "pebble" and resolved_width is not None:
+            return self._cache.warm_pebble(
+                self._engine.forest,
+                graph,
+                resolved_width + 1,
+                list(mappings) if mappings is not None else None,
+            )
+        if resolved_method != "naive":
+            self._cache.target_index(graph)
+        return 0
 
     # --- passthroughs ------------------------------------------------------
     def contains(

@@ -14,10 +14,15 @@ tree.  :class:`EvaluationCache` memoizes all of it:
   mappings that induce the same sub-instance share one search;
 * **pebble-game verdicts** — keyed the same way plus the distinguished set
   and the number of pebbles;
+* **consistency kernels** — one precomputed
+  :class:`~repro.pebble.kernel.ConsistencyKernel` per
+  ``(instance structure, pebbles)``, so the µ-independent part of the
+  pebble game (constraint grouping, base domains, binary supports) is paid
+  once per child instance instead of once per mapping;
 * **µ-subtree lookups** — the witness subtree ``T^µ`` per ``(tree, µ)``;
 * **target indexes** — one prebuilt
   :class:`~repro.hom.homomorphism.TargetIndex` per graph, shared by every
-  memoized search;
+  memoized search and every kernel;
 * **subtree tables** — per-tree maps from a subtree's node set to its
   children / pattern / variables, shared across graphs.
 
@@ -25,12 +30,16 @@ Graph-dependent entries live in per-graph stores keyed on
 ``RDFGraph.version``; mutating a graph (``add`` / ``discard``) bumps the
 version, so the next lookup transparently drops every stale entry for that
 graph.  Stores are evicted when their graph is garbage collected, and
-``max_entries_per_graph`` bounds each store FIFO-style; the same limit also
-caps the number of per-tree structure tables (which pin their trees), so a
-bounded cache stays bounded even over a stream of distinct patterns.  With
-the default ``max_entries_per_graph=None`` the cache grows without limit
-and holds strong references to every tree it has seen — prefer a bound for
-long-lived shared caches.
+``max_entries_per_graph`` bounds each store with an **LRU** policy under
+rough size accounting: plain memo entries cost 1, kernels cost roughly the
+number of values/support pairs they hold, every hit refreshes the entry's
+recency, and the least recently used entries are evicted first — so hot
+entries survive eviction pressure.  The same limit also caps the number of
+per-tree structure tables (which pin their trees), so a bounded cache stays
+bounded even over a stream of distinct patterns.  With the default
+``max_entries_per_graph=None`` the cache grows without limit and holds
+strong references to every tree it has seen — prefer a bound for long-lived
+shared caches.
 
 A cache is shared safely between any number of :class:`Engine` /
 :class:`BatchEngine` instances — entries are keyed on the evaluated
@@ -41,17 +50,20 @@ benefit from each other's work.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..hom.homomorphism import TargetIndex, find_homomorphism, target_index
 from ..hom.tgraph import GeneralizedTGraph, TGraph
 from ..patterns.tree import Subtree, WDPatternTree
-from ..pebble.game import pebble_game_winner
+from ..pebble.kernel import ConsistencyKernel
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Term, Variable
 from ..sparql.mappings import Mapping
 
 __all__ = ["CacheStatistics", "EvaluationCache"]
+
+#: Sentinel distinguishing "absent" from memoized ``None``/``False`` values.
+_MISSING = object()
 
 
 class CacheStatistics:
@@ -62,6 +74,8 @@ class CacheStatistics:
         "hom_misses",
         "pebble_hits",
         "pebble_misses",
+        "kernel_hits",
+        "kernel_misses",
         "subtree_hits",
         "subtree_misses",
         "invalidations",
@@ -73,6 +87,8 @@ class CacheStatistics:
         self.hom_misses = 0
         self.pebble_hits = 0
         self.pebble_misses = 0
+        self.kernel_hits = 0
+        self.kernel_misses = 0
         self.subtree_hits = 0
         self.subtree_misses = 0
         self.invalidations = 0
@@ -81,12 +97,12 @@ class CacheStatistics:
     @property
     def hits(self) -> int:
         """Total cache hits across all memoized operations."""
-        return self.hom_hits + self.pebble_hits + self.subtree_hits
+        return self.hom_hits + self.pebble_hits + self.kernel_hits + self.subtree_hits
 
     @property
     def misses(self) -> int:
         """Total cache misses across all memoized operations."""
-        return self.hom_misses + self.pebble_misses + self.subtree_misses
+        return self.hom_misses + self.pebble_misses + self.kernel_misses + self.subtree_misses
 
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache (0.0 when unused)."""
@@ -105,26 +121,67 @@ class CacheStatistics:
 
 
 class _GraphStore:
-    """Per-graph memo tables, valid for a single graph version."""
+    """Per-graph memo tables, valid for a single graph version.
 
-    __slots__ = ("version", "index", "hom", "pebble", "subtree")
+    All memoized results live in one insertion-ordered mapping keyed by
+    ``(kind, key)``; a hit re-inserts the entry at the end, so iteration
+    order is recency order and eviction pops from the front (LRU).  Each
+    entry carries a rough cost; ``total_cost`` is what the cache bound
+    compares against.
+    """
+
+    __slots__ = ("version", "index", "entries", "costs", "total_cost")
 
     def __init__(self, version: int) -> None:
         self.version = version
         self.index: Optional[TargetIndex] = None
-        self.hom: Dict[Tuple, bool] = {}
-        self.pebble: Dict[Tuple, bool] = {}
-        self.subtree: Dict[Tuple, Optional[FrozenSet[int]]] = {}
+        self.entries: Dict[Tuple[str, Tuple], object] = {}
+        self.costs: Dict[Tuple[str, Tuple], int] = {}
+        self.total_cost = 0
 
     def reset(self, version: int) -> None:
         self.version = version
         self.index = None
-        self.hom.clear()
-        self.pebble.clear()
-        self.subtree.clear()
+        self.entries.clear()
+        self.costs.clear()
+        self.total_cost = 0
+
+    def get(self, kind: str, key: Tuple) -> object:
+        """The memoized value (recency-refreshed), or ``_MISSING``."""
+        full_key = (kind, key)
+        value = self.entries.pop(full_key, _MISSING)
+        if value is not _MISSING:
+            self.entries[full_key] = value  # re-insert at the recent end
+        return value
+
+    def put(self, kind: str, key: Tuple, value: object, cost: int = 1) -> None:
+        full_key = (kind, key)
+        if full_key in self.entries:
+            self.entries.pop(full_key)
+            self.total_cost -= self.costs.pop(full_key)
+        self.entries[full_key] = value
+        self.costs[full_key] = cost
+        self.total_cost += cost
+
+    def evict_one(self) -> None:
+        """Drop the least recently used entry."""
+        full_key = next(iter(self.entries))
+        del self.entries[full_key]
+        self.total_cost -= self.costs.pop(full_key)
+
+    def drop_matching(self, kind: str, predicate) -> None:
+        """Drop every *kind* entry whose key satisfies *predicate*."""
+        stale = [
+            full_key
+            for full_key in self.entries
+            if full_key[0] == kind and predicate(full_key[1])
+        ]
+        for full_key in stale:
+            del self.entries[full_key]
+            self.total_cost -= self.costs.pop(full_key)
 
     def entry_count(self) -> int:
-        return len(self.hom) + len(self.pebble) + len(self.subtree)
+        return len(self.entries)
 
 
 class _TreeTable:
@@ -150,9 +207,10 @@ class EvaluationCache:
     Parameters
     ----------
     max_entries_per_graph:
-        Upper bound on the number of memoized results kept per graph; the
-        oldest entries are evicted first.  ``None`` (the default) means
-        unbounded.
+        Rough cost budget per graph store (plain entries cost 1, consistency
+        kernels cost proportionally to their precomputed state); the least
+        recently used entries are evicted first.  ``None`` (the default)
+        means unbounded.
     """
 
     def __init__(self, max_entries_per_graph: Optional[int] = None) -> None:
@@ -221,25 +279,23 @@ class EvaluationCache:
         """Drop the oldest tree table (and with it the strong pin on its tree).
 
         The evicted table's tree may be garbage collected afterwards, so its
-        ``id()`` can be recycled; every ``store.subtree`` entry keyed on that
+        ``id()`` can be recycled; every memoized subtree entry keyed on that
         id must go with it.
         """
         tree_id = next(iter(self._trees))
         del self._trees[tree_id]
         for store in self._graphs.values():
-            stale = [key for key in store.subtree if key[0] == tree_id]
-            for key in stale:
-                del store.subtree[key]
+            store.drop_matching("subtree", lambda key: key[0] == tree_id)
         self._statistics.evictions += 1
 
-    def _bounded_insert(self, table: Dict, store: _GraphStore, key, value) -> None:
-        if self._max_entries is not None and store.entry_count() >= self._max_entries:
-            for memo in (store.hom, store.pebble, store.subtree):
-                if memo:
-                    memo.pop(next(iter(memo)))
-                    self._statistics.evictions += 1
-                    break
-        table[key] = value
+    def _bounded_insert(
+        self, store: _GraphStore, kind: str, key: Tuple, value: object, cost: int = 1
+    ) -> None:
+        if self._max_entries is not None:
+            while store.entries and store.total_cost + cost > self._max_entries:
+                store.evict_one()
+                self._statistics.evictions += 1
+        store.put(kind, key, value, cost)
 
     # --- memoized primitives ----------------------------------------------
     def target_index(self, graph: RDFGraph) -> TargetIndex:
@@ -260,34 +316,61 @@ class EvaluationCache:
             var: mu[var] for var in triples.variables() & mu.domain()
         }
         key = (triples.triples(), frozenset(fixed.items()))
-        cached = store.hom.get(key)
-        if cached is not None:
+        cached = store.get("hom", key)
+        if cached is not _MISSING:
             self._statistics.hom_hits += 1
-            return cached
+            return cached  # type: ignore[return-value]
         self._statistics.hom_misses += 1
         result = (
             find_homomorphism(triples, graph, fixed, self.target_index(graph)) is not None
         )
-        self._bounded_insert(store.hom, store, key, result)
+        self._bounded_insert(store, "hom", key, result)
         return result
+
+    def pebble_kernel(
+        self, extended: GeneralizedTGraph, graph: RDFGraph, pebbles: int
+    ) -> ConsistencyKernel:
+        """The memoized consistency kernel for one pebble instance structure.
+
+        Keyed on ``(triples, distinguished, pebbles)`` per graph version, so
+        every mapping evaluated against the same child instance shares one
+        µ-independent precomputation (and the cache's shared target index).
+        """
+        store = self._store(graph)
+        key = (extended.triples(), extended.distinguished, pebbles)
+        kernel = store.get("kernel", key)
+        if kernel is not _MISSING:
+            self._statistics.kernel_hits += 1
+            return kernel  # type: ignore[return-value]
+        self._statistics.kernel_misses += 1
+        # prepare() forces the µ-independent setup now so the size accounting
+        # charges the built state (and warmed kernels are actually warm).
+        kernel = ConsistencyKernel(
+            extended, graph, pebbles, index=self.target_index(graph)
+        ).prepare()
+        self._bounded_insert(store, "kernel", key, kernel, cost=kernel.cost())
+        return kernel
 
     def pebble_winner(
         self, extended: GeneralizedTGraph, graph: RDFGraph, mu: Mapping, pebbles: int
     ) -> bool:
         """Memoized existential *pebbles*-pebble game verdict
-        ``(S, X) →µ_pebbles G``."""
+        ``(S, X) →µ_pebbles G``, answered through the shared kernel."""
         store = self._store(graph)
         fixed = frozenset(
             (var, mu[var]) for var in extended.distinguished if var in mu
         )
         key = (extended.triples(), extended.distinguished, fixed, pebbles)
-        cached = store.pebble.get(key)
-        if cached is not None:
+        cached = store.get("pebble", key)
+        if cached is not _MISSING:
             self._statistics.pebble_hits += 1
-            return cached
+            return cached  # type: ignore[return-value]
         self._statistics.pebble_misses += 1
-        result = pebble_game_winner(extended, graph, mu, pebbles)
-        self._bounded_insert(store.pebble, store, key, result)
+        result = self.pebble_kernel(extended, graph, pebbles).winner(mu)
+        # Re-fetch the store: building the kernel may have reset it if the
+        # graph was mutated concurrently (defensive; same-version re-fetch is
+        # a dict lookup).
+        self._bounded_insert(self._store(graph), "pebble", key, result)
         return result
 
     def mu_subtree(
@@ -299,17 +382,59 @@ class EvaluationCache:
         store = self._store(graph)
         self._tree_table(tree)  # pin the tree so the id() key stays valid
         key = (id(tree), frozenset(mu.items()))
-        if key in store.subtree:
+        cached = store.get("subtree", key)
+        if cached is not _MISSING:
             self._statistics.subtree_hits += 1
-            nodes = store.subtree[key]
+            nodes = cached
         else:
             self._statistics.subtree_misses += 1
             subtree = find_mu_subtree(tree, graph, mu)
             nodes = subtree.nodes if subtree is not None else None
-            self._bounded_insert(store.subtree, store, key, nodes)
+            self._bounded_insert(store, "subtree", key, nodes)
         if nodes is None:
             return None
         return Subtree(tree, nodes)
+
+    # --- warm-up ------------------------------------------------------------
+    def warm_pebble(
+        self,
+        forest: Iterable[WDPatternTree],
+        graph: RDFGraph,
+        pebbles: int,
+        mappings: Optional[Iterable[Mapping]] = None,
+    ) -> int:
+        """Precompute the µ-independent pebble state for *forest* over *graph*.
+
+        Builds the shared target index, the sorted graph domain, and one
+        consistency kernel per ``(witness subtree, child)`` instance the
+        given *mappings* reach (per root subtree when no mappings are given —
+        the witness of every root-shaped mapping).  Returns the number of
+        kernel instances ensured.  Purely a performance feature: warming
+        changes no verdicts, it only front-loads work so that subsequent
+        lookups (or forked worker processes) find hot state.
+        """
+        self.target_index(graph)
+        graph.sorted_domain()
+        # Materialise up front: the mappings are re-walked once per tree, and
+        # a one-shot iterable would otherwise only warm the first tree.
+        if mappings is not None:
+            mappings = list(mappings)
+        count = 0
+        for tree in forest:
+            node_sets = set()
+            if mappings is None:
+                node_sets.add(frozenset({tree.root}))
+            else:
+                for mu in mappings:
+                    subtree = self.mu_subtree(tree, graph, mu)
+                    if subtree is not None:
+                        node_sets.add(subtree.nodes)
+            for nodes in node_sets:
+                for child in self.subtree_children(tree, nodes):
+                    extended = self.extended_child_graph(tree, nodes, child)
+                    self.pebble_kernel(extended, graph, pebbles)
+                    count += 1
+        return count
 
     # --- per-tree structure tables ------------------------------------------
     def subtree_children(self, tree: WDPatternTree, nodes: FrozenSet[int]) -> Tuple[int, ...]:

@@ -51,8 +51,11 @@ def tree_contains_pebble(
     ``dw ≤ k``.
 
     With a *cache*, the witness-subtree lookup, the per-child instance
-    construction and the pebble-game verdicts are memoized per graph version
-    (identical answers, see :mod:`repro.evaluation.cache`).
+    construction and the pebble-game verdicts are memoized per graph version,
+    and each child instance is answered through a shared
+    :class:`~repro.pebble.kernel.ConsistencyKernel` — the µ-independent part
+    of the pebble game is built once per ``(subtree, child)`` instead of once
+    per mapping (identical answers, see :mod:`repro.evaluation.cache`).
     """
     if cache is not None:
         subtree = cache.mu_subtree(tree, graph, mu)

@@ -88,6 +88,30 @@ class TargetIndex:
             return self.triples
         return self._index.get((s, p, o), ())
 
+    def pattern_solutions(
+        self,
+        pattern: TriplePattern,
+        fixed: Optional[Mapping[Variable, Term]] = None,
+    ) -> Iterator[Dict[Variable, Term]]:
+        """Bindings of the unbound variables of one triple pattern — an index
+        join against the target triples.
+
+        Positions bound by *fixed* (or holding constants) restrict the
+        candidate lookup; repeated unbound variables must receive equal
+        images.  Enumerating the bindings costs time proportional to the
+        number of candidate triples for the bound-position mask, not to the
+        size of the target — this is what the consistency kernel uses to
+        build per-variable domains and binary support relations instead of
+        generate-and-test over ``dom(G)`` squared.
+        """
+        assignment: Mapping[Variable, Term] = fixed if fixed is not None else {}
+        for candidate in _compatible_targets(pattern, assignment, self):
+            binding: Dict[Variable, Term] = {}
+            for pat_term, target_term in zip(pattern, candidate):
+                if isinstance(pat_term, Variable) and pat_term not in assignment:
+                    binding[pat_term] = target_term
+            yield binding
+
 
 #: Backwards-compatible private alias.
 _TargetIndex = TargetIndex

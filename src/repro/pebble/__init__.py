@@ -1,5 +1,17 @@
 """The existential k-pebble game (the polynomial relaxation of homomorphism)."""
 
-from .game import pebble_game_winner, pebble_maps_into, PebbleGameStatistics
+from .game import (
+    PebbleGameStatistics,
+    pebble_game_winner,
+    pebble_maps_into,
+    reference_pebble_game_winner,
+)
+from .kernel import ConsistencyKernel
 
-__all__ = ["pebble_game_winner", "pebble_maps_into", "PebbleGameStatistics"]
+__all__ = [
+    "pebble_game_winner",
+    "reference_pebble_game_winner",
+    "pebble_maps_into",
+    "PebbleGameStatistics",
+    "ConsistencyKernel",
+]

@@ -21,6 +21,13 @@ Two implementations are provided behind a single entry point:
 * ``k ≥ 3`` — the generic level-wise fixpoint over partial homomorphisms of
   size ≤ k.
 
+:func:`pebble_game_winner` delegates to the indexed
+:class:`~repro.pebble.kernel.ConsistencyKernel`, which precomputes the
+µ-independent part of the game (constraint grouping, base domains, binary
+supports) per ``(structure, graph version, k)`` and answers each mapping by
+restriction; :func:`reference_pebble_game_winner` is the direct per-call
+implementation the kernel is tested against (identical verdicts).
+
 The two key facts used by the paper are exposed here and exercised by the
 test suite:
 
@@ -41,7 +48,12 @@ from ..rdf.triples import TriplePattern
 from ..sparql.mappings import Mapping
 from ..exceptions import EvaluationError
 
-__all__ = ["pebble_game_winner", "pebble_maps_into", "PebbleGameStatistics"]
+__all__ = [
+    "pebble_game_winner",
+    "reference_pebble_game_winner",
+    "pebble_maps_into",
+    "PebbleGameStatistics",
+]
 
 #: A partial assignment of non-distinguished variables, as a sorted tuple of
 #: (variable, value) pairs so that it can live in sets.
@@ -93,6 +105,29 @@ def pebble_game_winner(
 
     Returns ``True`` iff ``(S, X) →µ_k G``.  Requires ``k ≥ 2`` and
     ``dom(µ) = X``.
+
+    Delegates to a fresh :class:`~repro.pebble.kernel.ConsistencyKernel`;
+    callers answering many mappings on one ``(S, X)`` and graph should build
+    the kernel once (or go through the evaluation cache, which does).
+    """
+    from .kernel import ConsistencyKernel  # deferred: kernel imports this module
+
+    return ConsistencyKernel(gtgraph, graph, k).winner(mu, statistics)
+
+
+def reference_pebble_game_winner(
+    gtgraph: GeneralizedTGraph,
+    graph: RDFGraph,
+    mu: Mapping,
+    k: int,
+    statistics: Optional[PebbleGameStatistics] = None,
+) -> bool:
+    """The per-call k-consistency computation (no precomputation, no sharing).
+
+    Rebuilds the constraint grouping, domains and support relations from
+    scratch on every invocation — the behaviour :func:`pebble_game_winner`
+    had before the indexed kernel existed.  Kept as the executable
+    specification the kernel is benchmarked and property-tested against.
     """
     if k < 2:
         raise ValueError("the existential pebble game requires k >= 2")

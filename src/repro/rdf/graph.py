@@ -41,6 +41,8 @@ class RDFGraph:
         "_by_po",
         "_by_so",
         "_version",
+        "_domain_cache",
+        "_sorted_domain_cache",
         "__weakref__",
     )
 
@@ -53,6 +55,8 @@ class RDFGraph:
         self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
         self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
         self._version = 0
+        self._domain_cache: Optional[Tuple[int, frozenset]] = None
+        self._sorted_domain_cache: Optional[Tuple[int, Tuple[GroundTerm, ...]]] = None
         for t in triples:
             self.add(t)
 
@@ -153,11 +157,34 @@ class RDFGraph:
         return frozenset(self._triples)
 
     def domain(self) -> frozenset[GroundTerm]:
-        """``dom(G)``: the ground terms appearing in any position of any triple."""
+        """``dom(G)``: the ground terms appearing in any position of any triple.
+
+        Memoized per :attr:`version` — the pebble game asks for the domain on
+        every invocation, so re-scanning every triple each time would dominate
+        small instances.  Any mutation transparently drops the memo.
+        """
+        cached = self._domain_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         result: set[GroundTerm] = set()
         for t in self._triples:
             result.update(t.constants())
-        return frozenset(result)
+        frozen = frozenset(result)
+        self._domain_cache = (self._version, frozen)
+        return frozen
+
+    def sorted_domain(self) -> Tuple[GroundTerm, ...]:
+        """``dom(G)`` as a tuple sorted by string form (memoized per version).
+
+        This is the canonical value order of the pebble game / consistency
+        kernel; sharing one sorted tuple avoids one sort per invocation.
+        """
+        cached = self._sorted_domain_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        ordered = tuple(sorted(self.domain(), key=str))
+        self._sorted_domain_cache = (self._version, ordered)
+        return ordered
 
     def subjects(self) -> frozenset[Term]:
         """All subjects occurring in the graph."""

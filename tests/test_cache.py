@@ -172,6 +172,56 @@ class TestCacheInternals:
         with pytest.raises(ValueError):
             EvaluationCache(max_entries_per_graph=0)
 
+    def test_lru_hot_entries_survive_eviction_pressure(self):
+        # Recency-based eviction: an entry touched between insertions of cold
+        # entries must never be evicted, however many cold entries stream by.
+        cache = EvaluationCache(max_entries_per_graph=3)
+        graph = RDFGraph([Triple.of(EX.a, EX.p, EX.b)])
+        hot = TGraph.of(("?hot", EX.p.value, "?y"))
+        cache.extension_exists(hot, graph, Mapping.EMPTY)
+        assert cache.statistics.hom_misses == 1
+        for index in range(20):
+            cold = TGraph.of((f"?cold{index}", EX.p.value, "?y"))
+            cache.extension_exists(cold, graph, Mapping.EMPTY)
+            cache.extension_exists(hot, graph, Mapping.EMPTY)  # keep it recent
+        # The hot instance was computed exactly once; every later lookup hit.
+        assert cache.statistics.hom_misses == 1 + 20
+        assert cache.statistics.hom_hits == 20
+        assert cache.statistics.evictions > 0
+
+    def test_fifo_would_evict_hot_entry_without_recency(self):
+        # Sanity check of the pressure in the test above: entries *not*
+        # refreshed under the same stream do get evicted and recomputed.
+        cache = EvaluationCache(max_entries_per_graph=3)
+        graph = RDFGraph([Triple.of(EX.a, EX.p, EX.b)])
+        stale = TGraph.of(("?stale", EX.p.value, "?y"))
+        cache.extension_exists(stale, graph, Mapping.EMPTY)
+        for index in range(20):
+            cold = TGraph.of((f"?cold{index}", EX.p.value, "?y"))
+            cache.extension_exists(cold, graph, Mapping.EMPTY)
+        cache.extension_exists(stale, graph, Mapping.EMPTY)
+        assert cache.statistics.hom_hits == 0  # it was evicted and recomputed
+
+    def test_kernel_entries_use_size_accounting(self):
+        from repro.workloads.families import fk_data_graph, fk_forest
+
+        forest = fk_forest(2)
+        graph = fk_data_graph(6, 36, clique_size=2, seed=9)
+        unbounded = EvaluationCache()
+        built = unbounded.warm_pebble(forest, graph, pebbles=2)
+        assert built >= 1
+        # A tiny budget cannot hold a kernel's precomputed state plus a
+        # stream of other entries: eviction must kick in, answers stay right.
+        bounded = EvaluationCache(max_entries_per_graph=5)
+        engine = Engine(forest=forest, width_bound=1, cache=bounded)
+        plain = Engine(forest=forest, width_bound=1)
+        queries = _membership_workload(forest, graph, random.Random(9), limit=5)
+        for mu in queries:
+            assert engine.contains(graph, mu, method="pebble") == plain.contains(
+                graph, mu, method="pebble"
+            )
+        assert bounded.statistics.evictions > 0
+
     def test_repr_counts_entries(self):
         cache = EvaluationCache()
         graph = RDFGraph([Triple.of(EX.a, EX.p, EX.b)])
