@@ -71,7 +71,11 @@ from .width import (
 from .evaluation import (
     BatchEngine,
     Engine,
+    EvalContext,
     EvaluationCache,
+    Plan,
+    Planner,
+    Session,
     evaluate_pattern,
     forest_contains,
     forest_contains_pebble,
@@ -140,7 +144,11 @@ __all__ = [
     "local_width_of_pattern",
     # evaluation
     "Engine",
+    "Session",
     "BatchEngine",
+    "Plan",
+    "Planner",
+    "EvalContext",
     "EvaluationCache",
     "evaluate_pattern",
     "forest_contains",

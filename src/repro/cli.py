@@ -5,22 +5,28 @@ A small CLI so that the library can be used without writing Python::
     python -m repro evaluate --graph data.nt --query "((?x knows ?y) OPT (?y email ?e))"
     python -m repro check    --graph data.nt --query QUERY --binding x=alice --binding y=bob
     python -m repro batch    --graph data.nt --query QUERY --bindings-file mappings.txt
+    python -m repro explain  --query QUERY --width-bound 1
     python -m repro classify --query QUERY
     python -m repro validate --query QUERY
 
 Sub-commands
 ------------
 ``evaluate``
-    Print every solution mapping of the query over the graph.
+    Print every solution mapping of the query over the graph (through a
+    :class:`~repro.evaluation.session.Session`).
 ``check``
     Decide ``µ ∈ ⟦P⟧G`` for the mapping given by ``--binding var=iri`` pairs
     (the paper's wdEVAL problem), using the requested engine.
 ``batch``
-    Decide many wdEVAL instances at once through the cached
-    :class:`~repro.evaluation.batch.BatchEngine`.  The bindings file holds
+    Decide many wdEVAL instances at once through a cached
+    :class:`~repro.evaluation.session.Session`.  The bindings file holds
     one candidate mapping per line as whitespace-separated ``var=iri``
     pairs (the empty mapping is written as ``-``; a line starting with
     ``#`` is a comment).
+``explain``
+    Print the evaluation :class:`~repro.evaluation.plan.Plan` the planner
+    resolves for the query — chosen strategy, width bound, certification
+    status and rationale — without evaluating anything.
 ``classify``
     Print the width profile (domination width, branch treewidth, local width)
     and the Theorem 3 verdict.
@@ -34,7 +40,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
-from .evaluation import BatchEngine, Engine
+from .evaluation import Engine, Session, method_names
 from .rdf.graph import RDFGraph
 from .rdf.io import load_graph
 from .rdf.terms import IRI, Variable
@@ -63,7 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--graph", required=True, help="N-Triples style data file")
     add_query_argument(evaluate)
     evaluate.add_argument(
-        "--method", choices=["naive", "natural"], default="natural", help="enumeration engine"
+        "--method",
+        choices=["auto", "naive", "natural"],
+        default="natural",
+        help="enumeration engine ('auto' resolves to natural)",
     )
 
     check = subparsers.add_parser("check", help="decide membership of a mapping (wdEVAL)")
@@ -76,9 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="VAR=IRI",
         help="one binding of the candidate mapping (repeatable)",
     )
-    check.add_argument(
-        "--method", choices=["auto", "naive", "natural", "pebble"], default="auto"
-    )
+    check.add_argument("--method", choices=list(method_names()), default="auto")
     check.add_argument("--width", type=int, default=None, help="width bound for the pebble engine")
 
     batch = subparsers.add_parser(
@@ -94,9 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
             "('-' = empty mapping, lines starting with '#' are comments)"
         ),
     )
-    batch.add_argument(
-        "--method", choices=["auto", "naive", "natural", "pebble"], default="auto"
-    )
+    batch.add_argument("--method", choices=list(method_names()), default="auto")
     batch.add_argument("--width", type=int, default=None, help="width bound for the pebble engine")
     batch.add_argument(
         "--processes",
@@ -105,7 +110,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate in parallel with this many worker processes",
     )
     batch.add_argument(
-        "--stats", action="store_true", help="print cache statistics after the run"
+        "--stats", action="store_true", help="print the plan and cache statistics after the run"
+    )
+
+    explain = subparsers.add_parser(
+        "explain", help="show the evaluation plan the planner resolves for a query"
+    )
+    add_query_argument(explain)
+    explain.add_argument(
+        "--method",
+        choices=list(method_names()),
+        default="auto",
+        help="requested method to resolve (default: auto)",
+    )
+    explain.add_argument(
+        "--width-bound",
+        type=int,
+        default=None,
+        help="declared upper bound on the pattern's domination width",
+    )
+    explain.add_argument(
+        "--compute-width",
+        action="store_true",
+        help="compute the true domination width first (certifies the bound "
+        "and lets 'auto' choose the pebble strategy)",
     )
 
     classify = subparsers.add_parser("classify", help="width profile and tractability verdict")
@@ -129,8 +157,10 @@ def _parse_bindings(raw_bindings: List[str]) -> Mapping:
 
 def _command_evaluate(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
-    engine = Engine(parse_pattern(args.query))
-    solutions = sorted(engine.solutions(graph, method=args.method), key=repr)
+    session = Session()
+    solutions = sorted(
+        session.solutions(parse_pattern(args.query), graph, method=args.method), key=repr
+    )
     print(f"# {len(solutions)} solution(s)")
     for mapping in solutions:
         rendered = ", ".join(
@@ -175,10 +205,11 @@ def _load_bindings_file(path: str) -> List[Mapping]:
 def _command_batch(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     mappings = _load_bindings_file(args.bindings_file)
-    batch = BatchEngine(
-        parse_pattern(args.query), width_bound=args.width, processes=args.processes
+    session = Session(processes=args.processes)
+    pattern = session.engine(parse_pattern(args.query), width_bound=args.width)
+    answers = session.check_many(
+        pattern, graph, mappings, method=args.method, width=args.width
     )
-    answers = batch.contains_many(graph, mappings, method=args.method, width=args.width)
     for mu, answer in zip(mappings, answers):
         rendered = " ".join(
             f"{var.name}={value.value if hasattr(value, 'value') else value}"
@@ -188,8 +219,21 @@ def _command_batch(args: argparse.Namespace) -> int:
     positive = sum(answers)
     print(f"# {positive} of {len(answers)} mapping(s) are solutions")
     if args.stats:
-        stats = batch.cache.statistics
+        plan = session.plan(pattern, method=args.method, width=args.width)
+        print(f"# plan: {plan.summary()}")
+        stats = session.cache.statistics
         print(f"# cache: {stats.hits} hits, {stats.misses} misses ({stats.hit_rate():.0%} hit rate)")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    pattern = parse_pattern(args.query)
+    engine = Engine(pattern, width_bound=args.width_bound)
+    if args.compute_width:
+        engine.domination_width()
+    plan = engine.plan(method=args.method)
+    print(f"query            : {to_text(pattern)}")
+    print(plan.explain())
     return 0
 
 
@@ -222,6 +266,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "check": _command_check,
     "batch": _command_batch,
+    "explain": _command_explain,
     "classify": _command_classify,
     "validate": _command_validate,
 }

@@ -1,121 +1,44 @@
-"""Batch evaluation of many wdEVAL instances.
+"""Batch evaluation of many wdEVAL instances (single-pattern adapter).
 
 The paper's wdEVAL problem is a single membership test ``µ ∈ ⟦P⟧G``; serving
-realistic workloads means answering *sets* of such instances — many candidate
-mappings against one pattern, or many patterns against one graph — and doing
-so much faster than a loop of independent :meth:`Engine.contains` calls.
-:class:`BatchEngine` provides that service layer:
+realistic workloads means answering *sets* of such instances.  The general
+workspace for that is :class:`~repro.evaluation.session.Session` (many
+patterns, many graphs, streaming enumeration); :class:`BatchEngine` is the
+historical single-pattern entry point, kept as a thin adapter over a
+session:
 
-* every instance set shares one
-  :class:`~repro.evaluation.cache.EvaluationCache`, so the graph's triple
-  index is built once, repeated homomorphism sub-instances are solved once,
-  and witness subtrees are looked up once per distinct mapping;
+* every instance set shares the session's
+  :class:`~repro.evaluation.cache.EvaluationCache`;
 * duplicate mappings in the input are answered once and fanned back out;
-* the ``"auto"`` method is resolved once for the whole set instead of per
-  call;
-* batched ``"naive"`` evaluation materialises ``⟦P⟧G`` a single time and
-  answers every mapping by set membership;
+* the ``method=`` argument is resolved once per batch by the engine's
+  :class:`~repro.evaluation.plan.Planner` (the *only* place ``"auto"`` is
+  resolved);
+* batched ``"naive"`` evaluation materialises ``⟦P⟧G`` a single time;
 * an opt-in :mod:`multiprocessing` pool (``processes=``) splits
-  embarrassingly parallel instance sets across workers; the µ-independent
-  evaluation state (target index, consistency kernels) is warmed in the
-  parent before forking — so workers inherit it copy-on-write — and rebuilt
-  once per worker in the pool initializer on non-fork start methods.
+  embarrassingly parallel instance sets across workers.
 
 Answers are guaranteed identical (same booleans, same order) to the
 single-shot engine; the cache and the pool are pure performance features.
 
 The module-level helpers :func:`contains_many_patterns` and
-:func:`contains_matrix` cover the many-patterns-one-graph direction, again
-sharing one cache so structurally overlapping patterns reuse each other's
-homomorphism tests.
+:func:`contains_matrix` cover the many-patterns-one-graph direction through
+a shared session.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, List, Optional, Set
 
 from .cache import EvaluationCache
 from .engine import Engine
-from .naive import evaluate_pattern
+from .session import PatternLike, Session
 from .wdeval import EvaluationStatistics
 from ..patterns.forest import WDPatternForest
 from ..rdf.graph import RDFGraph
 from ..sparql.algebra import GraphPattern
 from ..sparql.mappings import Mapping
-from ..exceptions import EvaluationError
 
 __all__ = ["BatchEngine", "contains_many_patterns", "contains_matrix"]
-
-#: Anything a batch entry point accepts as "a pattern".
-PatternLike = Union[Engine, GraphPattern, WDPatternForest]
-
-
-def _as_engine(pattern: PatternLike, cache: Optional[EvaluationCache]) -> Engine:
-    """Coerce a pattern-like value into an engine wired to *cache*."""
-    if isinstance(pattern, Engine):
-        if cache is None or pattern.cache is cache:
-            return pattern
-        return Engine(pattern.pattern, pattern.forest, pattern.width_bound, cache=cache)
-    if isinstance(pattern, WDPatternForest):
-        return Engine(forest=pattern, cache=cache)
-    if isinstance(pattern, GraphPattern):
-        return Engine(pattern, cache=cache)
-    raise EvaluationError(
-        f"expected an Engine, GraphPattern or WDPatternForest, got {type(pattern).__name__}"
-    )
-
-
-# --- multiprocessing plumbing -------------------------------------------------
-#
-# Workers are initialised once per pool with the forest and graph and then
-# stream mappings; each worker owns an EvaluationCache so the per-graph index,
-# memo tables and consistency kernels are built once per worker, not per task.
-#
-# With the ``fork`` start method the parent warms its own cache *before* the
-# pool is created and hands the live engine to the initializer — fork does not
-# pickle initargs, so every worker starts with the precomputed kernels and
-# target index already in (copy-on-write shared) memory.  Other start methods
-# receive pickled copies and rebuild the µ-independent state once per worker
-# in the initializer instead of lazily per task.
-
-_WORKER_STATE: Dict[str, object] = {}
-
-
-def _init_worker(
-    forest: WDPatternForest,
-    width_bound: Optional[int],
-    graph: RDFGraph,
-    method: str,
-    width: Optional[int],
-    warm_engine: Optional[Engine] = None,
-) -> None:
-    if warm_engine is not None:
-        # Fork path: the parent's engine (and its warmed cache) arrives by
-        # address, not by pickle; reuse it directly.
-        engine = warm_engine
-    else:
-        engine = Engine(forest=forest, width_bound=width_bound, cache=EvaluationCache())
-        cache = engine.cache
-        if cache is not None:
-            if method == "pebble" and width is not None:
-                cache.warm_pebble(forest, graph, width + 1)
-            else:
-                cache.target_index(graph)
-    _WORKER_STATE["engine"] = engine
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["method"] = method
-    _WORKER_STATE["width"] = width
-
-
-def _worker_contains(mu: Mapping) -> bool:
-    engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
-    return engine.contains(
-        _WORKER_STATE["graph"],  # type: ignore[arg-type]
-        mu,
-        method=_WORKER_STATE["method"],  # type: ignore[arg-type]
-        width=_WORKER_STATE["width"],  # type: ignore[arg-type]
-    )
 
 
 class BatchEngine:
@@ -123,7 +46,8 @@ class BatchEngine:
 
     Parameters mirror :class:`Engine`; a fresh
     :class:`~repro.evaluation.cache.EvaluationCache` is created when none is
-    supplied, so batching is cached by construction.
+    supplied, so batching is cached by construction.  Internally this is an
+    adapter over a single-pattern :class:`~repro.evaluation.session.Session`.
 
     >>> from repro.sparql import parse_pattern
     >>> from repro.rdf import RDFGraph, Triple
@@ -141,11 +65,10 @@ class BatchEngine:
         cache: Optional[EvaluationCache] = None,
         processes: Optional[int] = None,
     ) -> None:
-        if processes is not None and processes < 1:
-            raise EvaluationError("processes must be a positive integer")
-        self._cache = cache if cache is not None else EvaluationCache()
-        self._engine = Engine(pattern, forest, width_bound, cache=self._cache)
-        self._processes = processes
+        self._session = Session(cache=cache, processes=processes)
+        self._engine = self._session.engine(
+            Engine(pattern, forest, width_bound, cache=self._session.cache)
+        )
 
     @classmethod
     def from_engine(cls, engine: Engine, processes: Optional[int] = None) -> "BatchEngine":
@@ -158,7 +81,22 @@ class BatchEngine:
             processes=processes,
         )
 
+    @classmethod
+    def from_session(
+        cls, session: Session, pattern: PatternLike, width_bound: Optional[int] = None
+    ) -> "BatchEngine":
+        """Adapt one pattern of an existing session (sharing its cache)."""
+        batch = cls.__new__(cls)
+        batch._session = session
+        batch._engine = session.engine(pattern, width_bound=width_bound)
+        return batch
+
     # --- introspection -----------------------------------------------------
+    @property
+    def session(self) -> Session:
+        """The underlying session (shared cache, pool settings)."""
+        return self._session
+
     @property
     def engine(self) -> Engine:
         """The underlying single-instance engine (shares this batch's cache)."""
@@ -167,7 +105,7 @@ class BatchEngine:
     @property
     def cache(self) -> EvaluationCache:
         """The evaluation cache shared by every instance of this batch."""
-        return self._cache
+        return self._session.cache
 
     @property
     def forest(self) -> WDPatternForest:
@@ -180,7 +118,10 @@ class BatchEngine:
         return self._engine.pattern
 
     def __repr__(self) -> str:
-        return f"BatchEngine({self._engine.forest!r}, processes={self._processes})"
+        return (
+            f"BatchEngine({self._engine.forest!r}, "
+            f"processes={self._session.context.processes})"
+        )
 
     # --- batched membership ------------------------------------------------
     def contains_many(
@@ -194,77 +135,19 @@ class BatchEngine:
     ) -> List[bool]:
         """Decide ``µ ∈ ⟦P⟧G`` for every mapping, in input order.
 
-        Guaranteed to return exactly the booleans a loop of
-        :meth:`Engine.contains` calls would, but sharing the cache across
-        instances, deduplicating repeated mappings, resolving ``"auto"``
-        once, and — when *processes* (or the constructor default) asks for
-        it — fanning the instances out over a worker pool.
-
-        *statistics* is only accumulated on the serial path; worker-side
-        counters are not collected.
+        See :meth:`Session.check_many
+        <repro.evaluation.session.Session.check_many>` — this is that entry
+        point pinned to the adapter's single pattern.
         """
-        mappings = list(mappings)
-        if not mappings:
-            return []
-        resolved_method, resolved_width = self._engine.resolve_method(method, width)
-        unique: List[Mapping] = []
-        seen: Set[Mapping] = set()
-        for mu in mappings:
-            if mu not in seen:
-                seen.add(mu)
-                unique.append(mu)
-
-        processes = processes if processes is not None else self._processes
-        if resolved_method == "naive":
-            # One materialisation of the full answer set serves every mapping.
-            answer_set = evaluate_pattern(self._engine.pattern, graph)
-            answers = {mu: mu in answer_set for mu in unique}
-        elif processes is not None and processes > 1 and len(unique) > 1:
-            answers = dict(
-                zip(unique, self._parallel(graph, unique, resolved_method, resolved_width, processes))
-            )
-        else:
-            answers = {
-                mu: self._engine.contains(
-                    graph, mu, method=resolved_method, width=resolved_width, statistics=statistics
-                )
-                for mu in unique
-            }
-        return [answers[mu] for mu in mappings]
-
-    def _parallel(
-        self,
-        graph: RDFGraph,
-        mappings: Sequence[Mapping],
-        method: str,
-        width: Optional[int],
-        processes: int,
-    ) -> List[bool]:
-        processes = min(processes, len(mappings))
-        chunksize = max(1, len(mappings) // (processes * 4))
-        ctx = multiprocessing.get_context()
-        warm_engine: Optional[Engine] = None
-        if ctx.get_start_method() == "fork":
-            # Build the µ-independent state once in the parent so the workers
-            # fork with warm kernels/indexes instead of rebuilding them.  No
-            # mappings here on purpose: per-mapping witness-subtree lookups
-            # would serialise in the parent (Amdahl); workers do those in
-            # parallel against the copy-on-write shared kernels.
-            self.warm(graph, method=method, width=width)
-            warm_engine = self._engine
-        with ctx.Pool(
-            processes,
-            initializer=_init_worker,
-            initargs=(
-                self._engine.forest,
-                self._engine.width_bound,
-                graph,
-                method,
-                width,
-                warm_engine,
-            ),
-        ) as pool:
-            return pool.map(_worker_contains, mappings, chunksize=chunksize)
+        return self._session.check_many(
+            self._engine,
+            graph,
+            mappings,
+            method=method,
+            width=width,
+            statistics=statistics,
+            processes=processes,
+        )
 
     def warm(
         self,
@@ -273,28 +156,9 @@ class BatchEngine:
         method: str = "auto",
         width: Optional[int] = None,
     ) -> int:
-        """Precompute the µ-independent evaluation state for *graph*.
-
-        For the pebble method this builds the shared target index, the graph
-        domain, and the consistency kernels of every ``(witness subtree,
-        child)`` instance the given *mappings* reach (the root-subtree
-        instances when no mappings are given); for the other methods it
-        builds the target index.  Returns the number of kernels ensured.
-        Warming is a pure performance feature — answers are identical with
-        and without it — and is what :meth:`contains_many` does before
-        forking a worker pool.
-        """
-        resolved_method, resolved_width = self._engine.resolve_method(method, width)
-        if resolved_method == "pebble" and resolved_width is not None:
-            return self._cache.warm_pebble(
-                self._engine.forest,
-                graph,
-                resolved_width + 1,
-                list(mappings) if mappings is not None else None,
-            )
-        if resolved_method != "naive":
-            self._cache.target_index(graph)
-        return 0
+        """Precompute the µ-independent evaluation state for *graph* (see
+        :meth:`Session.warm <repro.evaluation.session.Session.warm>`)."""
+        return self._session.warm(self._engine, graph, mappings, method=method, width=width)
 
     # --- passthroughs ------------------------------------------------------
     def contains(
@@ -309,7 +173,8 @@ class BatchEngine:
         return self._engine.contains(graph, mu, method=method, width=width, statistics=statistics)
 
     def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
-        """Enumerate the full answer set ``⟦P⟧G`` (see :meth:`Engine.solutions`)."""
+        """Enumerate the full answer set ``⟦P⟧G`` (see :meth:`Engine.solutions`);
+        accepts ``method="auto"`` like the engine does."""
         return self._engine.solutions(graph, method=method)
 
 
@@ -323,13 +188,13 @@ def contains_many_patterns(
 ) -> List[bool]:
     """Decide ``µ ∈ ⟦P_i⟧G`` for many patterns over one graph.
 
-    All patterns share one cache, so the graph index is built once and
-    homomorphism sub-instances common to several patterns are solved once.
+    All patterns share one session cache, so the graph index is built once
+    and homomorphism sub-instances common to several patterns are solved
+    once.
     """
-    cache = cache if cache is not None else EvaluationCache()
+    session = Session(cache=cache)
     return [
-        _as_engine(pattern, cache).contains(graph, mu, method=method, width=width)
-        for pattern in patterns
+        session.check(pattern, graph, mu, method=method, width=width) for pattern in patterns
     ]
 
 
@@ -344,13 +209,11 @@ def contains_matrix(
     """The full answer matrix: one row per pattern, one column per mapping.
 
     Covers the "many patterns × many mappings over one graph" workload with
-    a single shared cache.
+    a single shared session cache.
     """
-    cache = cache if cache is not None else EvaluationCache()
+    session = Session(cache=cache)
     mappings = list(mappings)
     return [
-        BatchEngine.from_engine(_as_engine(pattern, cache)).contains_many(
-            graph, mappings, method=method, width=width
-        )
+        session.check_many(pattern, graph, mappings, method=method, width=width)
         for pattern in patterns
     ]

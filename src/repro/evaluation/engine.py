@@ -11,18 +11,27 @@ and exposes the three evaluation strategies side by side:
 * ``method="auto"`` — pebble with a certified width bound when one was given
   or can be computed cheaply, otherwise the natural algorithm.
 
+Method resolution lives in exactly one place: the engine's
+:class:`~repro.evaluation.plan.Planner`.  :meth:`contains`,
+:meth:`resolve_method` and the batched entry points all delegate to it, and
+:meth:`plan` / :meth:`explain` expose the resolved
+:class:`~repro.evaluation.plan.Plan` — including *why* the pebble strategy
+was (not) chosen.
+
 The engine also enumerates complete answer sets and exposes the pattern's
 width measures, which is what the examples and the experiment harness use.
+For many patterns / many graphs behind one shared cache, see
+:class:`~repro.evaluation.session.Session`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterator, Optional, Set
 
 from .cache import EvaluationCache
-from .naive import evaluate_pattern, pattern_contains
-from .pebble_eval import forest_contains_pebble
-from .wdeval import EvaluationStatistics, forest_contains, forest_solutions
+from .context import EvalContext
+from .plan import Plan, Planner
+from .wdeval import EvaluationStatistics
 from ..patterns.build import pattern_of_forest, wdpf
 from ..patterns.forest import WDPatternForest
 from ..rdf.graph import RDFGraph
@@ -32,7 +41,17 @@ from ..exceptions import EvaluationError
 
 __all__ = ["Engine"]
 
-_METHODS = ("auto", "naive", "natural", "pebble")
+
+def _restore_engine(
+    pattern: GraphPattern,
+    forest: WDPatternForest,
+    width_bound: Optional[int],
+    domination_width: Optional[int],
+) -> "Engine":
+    """Unpickling helper: rebuild an engine (and its planner wiring)."""
+    engine = Engine(pattern, forest, width_bound)
+    engine._domination_width = domination_width
+    return engine
 
 
 class Engine:
@@ -49,7 +68,7 @@ class Engine:
     width_bound:
         An upper bound on the domination width of the pattern.  When given,
         ``method="pebble"``/``"auto"`` runs the existential
-        ``(width_bound+1)``-pebble game and is exact.
+        ``(width_bound+1)``-pebble game and is exact if the bound holds.
     cache:
         An optional :class:`~repro.evaluation.cache.EvaluationCache`.  When
         given, the natural and pebble membership paths memoize homomorphism
@@ -71,13 +90,26 @@ class Engine:
             forest = wdpf(pattern)
         if pattern is None:
             pattern = pattern_of_forest(forest)
-        if width_bound is not None and width_bound < 1:
-            raise EvaluationError("width_bound must be at least 1")
         self._pattern = pattern
         self._forest = forest
         self._width_bound = width_bound
-        self._cache = cache
         self._domination_width: Optional[int] = None
+        self._planner = Planner(
+            width_bound=width_bound,
+            known_width=lambda: self._domination_width,
+            width_oracle=self.domination_width,
+        )
+        self._context = EvalContext(cache=cache)
+
+    def __reduce__(self):
+        # The planner closes over `self` (not picklable); rebuild it on load.
+        # The cache is deliberately dropped: it is process-local performance
+        # state (kernels hold graph weakrefs, stores are keyed on id(graph))
+        # — a shipped engine starts cold and attaches its own cache.
+        return (
+            _restore_engine,
+            (self._pattern, self._forest, self._width_bound, self._domination_width),
+        )
 
     # --- introspection -----------------------------------------------------------
     @property
@@ -98,19 +130,48 @@ class Engine:
     @property
     def cache(self) -> Optional[EvaluationCache]:
         """The evaluation cache attached to this engine (if any)."""
-        return self._cache
+        return self._context.cache
+
+    @property
+    def planner(self) -> Planner:
+        """The planner resolving ``method=`` arguments for this engine."""
+        return self._planner
 
     def domination_width(self) -> int:
         """The (computed and cached) domination width of the pattern.
 
         This is expensive; it is computed lazily and only when requested or
-        when ``method="auto"`` needs a certified bound and none was supplied.
+        when ``method="pebble"`` needs a bound and none was supplied.  Once
+        computed, ``method="auto"`` upgrades to the pebble strategy with
+        this certified bound.
         """
         if self._domination_width is None:
             from ..width.domination import domination_width
 
             self._domination_width = domination_width(self._forest)
         return self._domination_width
+
+    # --- planning ----------------------------------------------------------------------
+    def plan(self, method: str = "auto", width: Optional[int] = None) -> Plan:
+        """The :class:`~repro.evaluation.plan.Plan` that :meth:`contains`
+        would execute for ``(method, width)``."""
+        return self._planner.plan(method, width)
+
+    def explain(self, method: str = "auto", width: Optional[int] = None) -> str:
+        """Human-readable account of the strategy choice (see :meth:`plan`)."""
+        return self.plan(method, width).explain()
+
+    def resolve_method(
+        self, method: str = "auto", width: Optional[int] = None
+    ) -> tuple[str, Optional[int]]:
+        """The concrete ``(method, width)`` that :meth:`contains` would run.
+
+        A compatibility projection of :meth:`plan` — the planner is the
+        single home of the resolution logic, so this can never disagree with
+        :meth:`contains`.
+        """
+        plan = self._planner.plan(method, width)
+        return plan.strategy, plan.width
 
     # --- membership --------------------------------------------------------------------
     def contains(
@@ -125,44 +186,9 @@ class Engine:
 
         ``width`` overrides the engine's width bound for the pebble method.
         """
-        if method not in _METHODS:
-            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
-        if method == "naive":
-            return pattern_contains(self._pattern, graph, mu)
-        if method == "natural":
-            return forest_contains(self._forest, graph, mu, statistics, self._cache)
-        if method == "pebble":
-            bound = width if width is not None else self._width_bound
-            if bound is None:
-                bound = self.domination_width()
-            return forest_contains_pebble(self._forest, graph, mu, bound, statistics, self._cache)
-        # auto: prefer the pebble algorithm when a certified bound is cheap to
-        # obtain, otherwise fall back to the exact natural algorithm.
-        bound = width if width is not None else self._width_bound
-        if bound is not None or self._domination_width is not None:
-            bound = bound if bound is not None else self._domination_width
-            return forest_contains_pebble(self._forest, graph, mu, bound, statistics, self._cache)
-        return forest_contains(self._forest, graph, mu, statistics, self._cache)
-
-    def resolve_method(self, method: str = "auto", width: Optional[int] = None) -> tuple[str, Optional[int]]:
-        """The concrete ``(method, width)`` that :meth:`contains` would run.
-
-        Resolves ``"auto"`` exactly like :meth:`contains` does (without
-        computing the domination width when no bound is known); the batch
-        engine uses this to fix the strategy once for a whole instance set.
-        """
-        if method not in _METHODS:
-            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
-        if method in ("naive", "natural"):
-            return method, None
-        bound = width if width is not None else self._width_bound
-        if bound is None:
-            bound = self._domination_width
-        if method == "pebble":
-            if bound is None:
-                bound = self.domination_width()
-            return "pebble", bound
-        return ("pebble", bound) if bound is not None else ("natural", None)
+        plan = self._planner.plan(method, width)
+        context = self._context.with_statistics(statistics)
+        return plan.strategy_obj.contains(self._pattern, self._forest, graph, mu, plan, context)
 
     def contains_all_methods(
         self,
@@ -184,9 +210,17 @@ class Engine:
 
     # --- enumeration -------------------------------------------------------------------------
     def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
-        """Enumerate the full answer set ``⟦P⟧G``."""
-        if method == "naive":
-            return evaluate_pattern(self._pattern, graph)
-        if method == "natural":
-            return forest_solutions(self._forest, graph)
-        raise EvaluationError("solutions() supports the 'naive' and 'natural' methods")
+        """Enumerate the full answer set ``⟦P⟧G``.
+
+        ``method="auto"`` resolves to the natural strategy (the pebble
+        relaxation decides membership only and is rejected).
+        """
+        return set(self.solutions_stream(graph, method))
+
+    def solutions_stream(self, graph: RDFGraph, method: str = "natural") -> Iterator[Mapping]:
+        """Stream ``⟦P⟧G`` as a deduplicated generator (same methods as
+        :meth:`solutions`)."""
+        plan = self._planner.plan_enumeration(method)
+        return plan.strategy_obj.solutions_stream(
+            self._pattern, self._forest, graph, self._context
+        )

@@ -16,24 +16,79 @@ and accepts as soon as some tree has *no* such child.  The algorithm is
 On classes of bounded domination width it therefore decides ``wdEVAL`` in
 polynomial time; on other inputs its answer may be a false negative, which
 :class:`~repro.evaluation.engine.Engine` reports as such.
+
+The canonical implementations (the ``*_ctx`` functions) take an
+:class:`~repro.evaluation.context.EvalContext`; the historical
+``(statistics, cache)`` signatures are kept as thin shims.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from .wdeval import EvaluationStatistics, find_mu_subtree
-from ..hom.tgraph import GeneralizedTGraph
+from .context import EvalContext
+from .wdeval import EvaluationStatistics
 from ..patterns.forest import WDPatternForest
 from ..patterns.tree import WDPatternTree
-from ..pebble.game import pebble_game_winner
 from ..rdf.graph import RDFGraph
 from ..sparql.mappings import Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .cache import EvaluationCache
 
-__all__ = ["tree_contains_pebble", "forest_contains_pebble"]
+__all__ = [
+    "tree_contains_pebble",
+    "tree_contains_pebble_ctx",
+    "forest_contains_pebble",
+    "forest_contains_pebble_ctx",
+]
+
+
+def tree_contains_pebble_ctx(
+    tree: WDPatternTree, graph: RDFGraph, mu: Mapping, k: int, context: EvalContext
+) -> bool:
+    """The per-tree acceptance test of the Theorem 1 algorithm.
+
+    Returns ``True`` when the witness subtree exists and no child passes the
+    ``(k+1)``-pebble extension test.  Sound for every input; complete when
+    ``dw ≤ k``.
+
+    With a caching *context*, the witness-subtree lookup, the per-child
+    instance construction and the pebble-game verdicts are memoized per graph
+    version, and each child instance is answered through a shared
+    :class:`~repro.pebble.kernel.ConsistencyKernel` — the µ-independent part
+    of the pebble game is built once per ``(subtree, child)`` instead of once
+    per mapping (identical answers, see :mod:`repro.evaluation.cache`).
+    """
+    subtree = context.mu_subtree(tree, graph, mu)
+    if subtree is None:
+        return False
+    context.note_subtree_found()
+    for _child, extended in context.child_instances(tree, subtree):
+        context.note_child_check()
+        if context.pebble_winner(extended, graph, mu, k + 1):
+            return False
+    return True
+
+
+def forest_contains_pebble_ctx(
+    forest: WDPatternForest, graph: RDFGraph, mu: Mapping, k: int, context: EvalContext
+) -> bool:
+    """The Theorem 1 algorithm on a forest: accept iff some tree accepts.
+
+    ``k`` should be (an upper bound on) the domination width of the forest;
+    the algorithm runs the existential ``(k+1)``-pebble game.
+    """
+    if k < 1:
+        raise ValueError("the width parameter k must be at least 1")
+    for tree in forest:
+        context.note_tree_visited()
+        if tree_contains_pebble_ctx(tree, graph, mu, k, context):
+            return True
+    return False
+
+
+# --- legacy signatures (thin shims) --------------------------------------------
 
 
 def tree_contains_pebble(
@@ -44,44 +99,8 @@ def tree_contains_pebble(
     statistics: Optional[EvaluationStatistics] = None,
     cache: Optional["EvaluationCache"] = None,
 ) -> bool:
-    """The per-tree acceptance test of the Theorem 1 algorithm.
-
-    Returns ``True`` when the witness subtree exists and no child passes the
-    ``(k+1)``-pebble extension test.  Sound for every input; complete when
-    ``dw ≤ k``.
-
-    With a *cache*, the witness-subtree lookup, the per-child instance
-    construction and the pebble-game verdicts are memoized per graph version,
-    and each child instance is answered through a shared
-    :class:`~repro.pebble.kernel.ConsistencyKernel` — the µ-independent part
-    of the pebble game is built once per ``(subtree, child)`` instead of once
-    per mapping (identical answers, see :mod:`repro.evaluation.cache`).
-    """
-    if cache is not None:
-        subtree = cache.mu_subtree(tree, graph, mu)
-    else:
-        subtree = find_mu_subtree(tree, graph, mu)
-    if subtree is None:
-        return False
-    if statistics is not None:
-        statistics.subtree_found += 1
-    if cache is not None:
-        for child in cache.subtree_children(tree, subtree.nodes):
-            if statistics is not None:
-                statistics.child_checks += 1
-            extended = cache.extended_child_graph(tree, subtree.nodes, child)
-            if cache.pebble_winner(extended, graph, mu, k + 1):
-                return False
-        return True
-    base = subtree.pat()
-    distinguished = subtree.variables()
-    for child in subtree.children():
-        if statistics is not None:
-            statistics.child_checks += 1
-        extended = GeneralizedTGraph(base.union(tree.pat(child)), distinguished)
-        if pebble_game_winner(extended, graph, mu, k + 1):
-            return False
-    return True
+    """Shim for :func:`tree_contains_pebble_ctx` (historical signature)."""
+    return tree_contains_pebble_ctx(tree, graph, mu, k, EvalContext.of(statistics, cache))
 
 
 def forest_contains_pebble(
@@ -92,16 +111,5 @@ def forest_contains_pebble(
     statistics: Optional[EvaluationStatistics] = None,
     cache: Optional["EvaluationCache"] = None,
 ) -> bool:
-    """The Theorem 1 algorithm on a forest: accept iff some tree accepts.
-
-    ``k`` should be (an upper bound on) the domination width of the forest;
-    the algorithm runs the existential ``(k+1)``-pebble game.
-    """
-    if k < 1:
-        raise ValueError("the width parameter k must be at least 1")
-    for tree in forest:
-        if statistics is not None:
-            statistics.trees_visited += 1
-        if tree_contains_pebble(tree, graph, mu, k, statistics, cache):
-            return True
-    return False
+    """Shim for :func:`forest_contains_pebble_ctx` (historical signature)."""
+    return forest_contains_pebble_ctx(forest, graph, mu, k, EvalContext.of(statistics, cache))

@@ -1,0 +1,451 @@
+"""Declarative evaluation planning: strategies, plans and the planner.
+
+The paper's tractability frontier is about *choosing the right algorithm per
+instance* — naive, natural, or the Theorem 1 pebble relaxation under a
+certified width bound.  This module makes that choice a first-class object
+instead of a string compared in several places:
+
+* :class:`Strategy` — a registered, executable evaluation strategy.  The
+  three concrete strategies (``naive``, ``natural``, ``pebble``) carry their
+  own execution hooks (``contains``, ``contains_many``, ``solutions_stream``,
+  ``warm``), so the callers dispatch on the strategy *object*, never on a
+  method string.
+* :class:`Plan` — a frozen record of one resolved choice: the strategy, the
+  width bound it runs with, whether that bound is *certified* (computed as
+  the pattern's true domination width) or merely trusted, and a
+  human-readable rationale.  :meth:`Plan.explain` renders the decision.
+* :class:`Planner` — the **single** home of ``method="auto"`` resolution.
+  :meth:`Engine.contains <repro.evaluation.engine.Engine.contains>`,
+  :meth:`Engine.resolve_method
+  <repro.evaluation.engine.Engine.resolve_method>`,
+  :meth:`Session.check_many <repro.evaluation.session.Session.check_many>`
+  and :class:`~repro.evaluation.batch.BatchEngine` all delegate here, so the
+  resolution logic can never disagree with itself again.
+
+The resolution rules (unchanged semantics, now in one place):
+
+* ``naive`` / ``natural`` run as requested, no width involved;
+* ``pebble`` uses the per-call ``width``, else the engine's ``width_bound``,
+  else the previously computed domination width, else it *computes* the
+  domination width (exact but potentially expensive);
+* ``auto`` prefers pebble **iff a bound is available for free** (an explicit
+  width, a constructor bound, or an already-computed domination width) and
+  otherwise falls back to the exact natural algorithm rather than pay for a
+  width computation.
+
+For enumeration (:meth:`Planner.plan_enumeration`) ``auto`` resolves to
+``natural`` — the pebble relaxation decides membership only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .context import EvalContext
+from .naive import evaluate_pattern, pattern_contains
+from ..exceptions import EvaluationError
+from ..patterns.forest import WDPatternForest
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import GraphPattern
+from ..sparql.mappings import Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import EvaluationCache
+
+__all__ = [
+    "Strategy",
+    "Plan",
+    "Planner",
+    "register_strategy",
+    "strategy_for",
+    "method_names",
+]
+
+
+# --- the strategy registry -----------------------------------------------------
+
+
+class Strategy:
+    """One executable evaluation strategy (registry entry).
+
+    Subclasses implement the execution hooks; the engines and sessions call
+    through the instance resolved from a :class:`Plan`, so there is no
+    method-string dispatch anywhere outside this module.
+    """
+
+    #: Registry name (the public ``method=`` value).
+    name: str = ""
+    #: One-line description used by :meth:`Plan.explain`.
+    summary: str = ""
+    #: Whether :meth:`solutions_stream` is implemented.
+    supports_enumeration: bool = False
+    #: Whether the strategy is parameterised by a width bound.
+    uses_width: bool = False
+    #: Whether batched membership may fan out over a worker pool.
+    parallel_safe: bool = True
+
+    # --- execution hooks -----------------------------------------------------
+    def contains(
+        self,
+        pattern: GraphPattern,
+        forest: WDPatternForest,
+        graph: RDFGraph,
+        mu: Mapping,
+        plan: "Plan",
+        context: EvalContext,
+    ) -> bool:
+        """Decide ``µ ∈ ⟦P⟧G`` under *plan*."""
+        raise NotImplementedError
+
+    def contains_many(
+        self,
+        pattern: GraphPattern,
+        forest: WDPatternForest,
+        graph: RDFGraph,
+        mappings: Iterable[Mapping],
+        plan: "Plan",
+        context: EvalContext,
+    ) -> List[bool]:
+        """Batched membership (already deduplicated by the caller)."""
+        return [self.contains(pattern, forest, graph, mu, plan, context) for mu in mappings]
+
+    def solutions_stream(
+        self,
+        pattern: GraphPattern,
+        forest: WDPatternForest,
+        graph: RDFGraph,
+        context: EvalContext,
+    ) -> Iterator[Mapping]:
+        """Stream the answer set ``⟦P⟧G`` (deduplicated)."""
+        raise EvaluationError(
+            f"the {self.name!r} strategy decides membership only and cannot enumerate"
+        )
+
+    def warm(
+        self,
+        forest: WDPatternForest,
+        graph: RDFGraph,
+        plan: "Plan",
+        cache: "EvaluationCache",
+        mappings: Optional[Iterable[Mapping]] = None,
+    ) -> int:
+        """Precompute µ-independent state for batched runs; returns the
+        number of consistency kernels ensured (0 for kernel-free strategies)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"Strategy({self.name!r})"
+
+
+_STRATEGIES: Dict[str, Strategy] = {}
+
+
+def register_strategy(strategy: Strategy) -> Strategy:
+    """Register *strategy* under its name (replacing any previous entry)."""
+    if not strategy.name:
+        raise ValueError("a strategy must have a non-empty name")
+    _STRATEGIES[strategy.name] = strategy
+    return strategy
+
+
+def method_names() -> Tuple[str, ...]:
+    """Every accepted ``method=`` value (``auto`` plus the registry)."""
+    return ("auto",) + tuple(sorted(_STRATEGIES))
+
+
+def strategy_for(name: str) -> Strategy:
+    """The registered strategy called *name* (raises for unknown names)."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown method {name!r}; expected one of {method_names()}"
+        ) from None
+
+
+class NaiveStrategy(Strategy):
+    """The compositional Pérez et al. semantics (reference, exponential)."""
+
+    name = "naive"
+    summary = "materialise ⟦P⟧G bottom-up (Pérez et al. reference semantics)"
+    supports_enumeration = True
+    uses_width = False
+    #: Batched naive evaluation materialises once instead of forking workers.
+    parallel_safe = False
+
+    def contains(self, pattern, forest, graph, mu, plan, context):
+        return pattern_contains(pattern, graph, mu)
+
+    def contains_many(self, pattern, forest, graph, mappings, plan, context):
+        # One materialisation of the full answer set serves every mapping.
+        answer_set = evaluate_pattern(pattern, graph)
+        return [mu in answer_set for mu in mappings]
+
+    def solutions_stream(self, pattern, forest, graph, context):
+        return iter(evaluate_pattern(pattern, graph))
+
+
+class NaturalStrategy(Strategy):
+    """The exact wdPF algorithm (Lemma 1) with NP-hard child tests."""
+
+    name = "natural"
+    summary = "exact wdPF evaluation (Lemma 1) with full homomorphism child tests"
+    supports_enumeration = True
+    uses_width = False
+
+    def contains(self, pattern, forest, graph, mu, plan, context):
+        from .wdeval import forest_contains_ctx  # deferred: wdeval imports plan's context
+
+        return forest_contains_ctx(forest, graph, mu, context)
+
+    def solutions_stream(self, pattern, forest, graph, context):
+        from .wdeval import forest_solutions_stream
+
+        return forest_solutions_stream(forest, graph, context)
+
+    def warm(self, forest, graph, plan, cache, mappings=None):
+        cache.target_index(graph)
+        return 0
+
+
+class PebbleStrategy(Strategy):
+    """The Theorem 1 algorithm: pebble-game relaxation of the child test."""
+
+    name = "pebble"
+    summary = "Theorem 1: natural evaluation with the existential (k+1)-pebble relaxation"
+    supports_enumeration = False
+    uses_width = True
+
+    def contains(self, pattern, forest, graph, mu, plan, context):
+        from .pebble_eval import forest_contains_pebble_ctx
+
+        return forest_contains_pebble_ctx(forest, graph, mu, plan.width, context)
+
+    def warm(self, forest, graph, plan, cache, mappings=None):
+        return cache.warm_pebble(
+            forest, graph, plan.width + 1, list(mappings) if mappings is not None else None
+        )
+
+
+NAIVE = register_strategy(NaiveStrategy())
+NATURAL = register_strategy(NaturalStrategy())
+PEBBLE = register_strategy(PebbleStrategy())
+
+
+# --- plans -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One resolved evaluation decision (immutable, explainable).
+
+    Attributes
+    ----------
+    requested:
+        The ``method=`` value the caller asked for (possibly ``"auto"``).
+    strategy:
+        The concrete strategy the planner chose (a registry name).
+    width:
+        The width bound ``k`` the pebble strategy runs with (``None`` for
+        width-free strategies); the game uses ``k+1`` pebbles.
+    certified:
+        ``True`` when *width* is the pattern's computed domination width —
+        the pebble algorithm is then exact (Theorem 1).  ``False`` for
+        user-supplied bounds, which are trusted but not verified.
+    rationale:
+        One human-readable sentence recording *why* this strategy was chosen.
+    """
+
+    requested: str
+    strategy: str
+    width: Optional[int]
+    certified: bool
+    rationale: str
+
+    @property
+    def strategy_obj(self) -> Strategy:
+        """The executable :class:`Strategy` behind :attr:`strategy`."""
+        return strategy_for(self.strategy)
+
+    def summary(self) -> str:
+        """A compact one-liner, e.g. ``pebble(k=1, certified)``."""
+        if self.width is None:
+            return self.strategy
+        certification = "certified" if self.certified else "trusted"
+        return f"{self.strategy}(k={self.width}, {certification})"
+
+    def explain(self) -> str:
+        """A human-readable account of the decision (CLI ``explain``)."""
+        strategy = self.strategy_obj
+        lines = [
+            f"requested method : {self.requested}",
+            f"chosen strategy  : {self.strategy} — {strategy.summary}",
+        ]
+        if strategy.uses_width:
+            certification = (
+                "certified: computed domination width of the pattern"
+                if self.certified
+                else "trusted: supplied bound, not verified"
+            )
+            lines.append(f"width bound      : k = {self.width} ({certification})")
+            lines.append(f"pebble game      : existential {self.width + 1}-pebble game")
+        else:
+            lines.append("width bound      : n/a (width-free strategy)")
+        lines.append(f"rationale        : {self.rationale}")
+        return "\n".join(lines)
+
+
+# --- the planner -----------------------------------------------------------------
+
+
+class Planner:
+    """The single home of ``method=`` resolution (notably ``"auto"``).
+
+    Parameters
+    ----------
+    width_bound:
+        The engine-level declared bound on the pattern's domination width
+        (``Engine(width_bound=...)``), if any.
+    known_width:
+        Zero-argument callable returning the domination width **iff it has
+        already been computed** (else ``None``).  ``auto`` consults this but
+        never triggers a computation.
+    width_oracle:
+        Zero-argument callable that *computes* the domination width on
+        demand; only invoked when ``method="pebble"`` is requested without
+        any bound.  ``None`` makes that case an error.
+    """
+
+    def __init__(
+        self,
+        width_bound: Optional[int] = None,
+        known_width: Optional[Callable[[], Optional[int]]] = None,
+        width_oracle: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if width_bound is not None and width_bound < 1:
+            raise EvaluationError("width_bound must be at least 1")
+        self._width_bound = width_bound
+        self._known_width = known_width if known_width is not None else lambda: None
+        self._width_oracle = width_oracle
+
+    # --- bound resolution ------------------------------------------------------
+    def _free_bound(self, width: Optional[int]) -> Tuple[Optional[int], bool, str]:
+        """The width bound available *without* computing anything.
+
+        Returns ``(bound, certified, source)``; ``bound`` is ``None`` when no
+        bound is available for free.
+        """
+        if width is not None:
+            return width, False, f"the per-call width argument declares dw(P) <= {width}"
+        if self._width_bound is not None:
+            return (
+                self._width_bound,
+                False,
+                f"the engine's width_bound declares dw(P) <= {self._width_bound}",
+            )
+        known = self._known_width()
+        if known is not None:
+            return known, True, f"the domination width dw(P) = {known} was already computed"
+        return None, False, "no width bound is available for free"
+
+    # --- membership planning -----------------------------------------------------
+    def plan(self, method: str = "auto", width: Optional[int] = None) -> Plan:
+        """Resolve ``(method, width)`` into an executable :class:`Plan`.
+
+        This is exactly the decision :meth:`Engine.contains` executes and
+        :meth:`Engine.resolve_method` reports — there is no other copy of it.
+        """
+        if method == "auto":
+            return self._plan_auto(width)
+        strategy = strategy_for(method)
+        if not strategy.uses_width:
+            return Plan(
+                requested=method,
+                strategy=strategy.name,
+                width=None,
+                certified=False,
+                rationale=f"the {strategy.name} strategy was requested explicitly",
+            )
+        bound, certified, source = self._free_bound(width)
+        if bound is None:
+            if self._width_oracle is None:
+                raise EvaluationError(
+                    "the pebble strategy needs a width bound and no width oracle is available"
+                )
+            bound = self._width_oracle()
+            certified = True
+            source = f"computed the domination width dw(P) = {bound} on demand"
+        exactness = (
+            "the algorithm is exact (Theorem 1)"
+            if certified
+            else f"sound always, complete if dw(P) <= {bound}"
+        )
+        return Plan(
+            requested=method,
+            strategy=strategy.name,
+            width=bound,
+            certified=certified,
+            rationale=f"the pebble strategy was requested explicitly; {source}; {exactness}",
+        )
+
+    def _plan_auto(self, width: Optional[int]) -> Plan:
+        bound, certified, source = self._free_bound(width)
+        if bound is not None:
+            exactness = (
+                "the algorithm is exact (Theorem 1)"
+                if certified
+                else f"it is exact if the bound holds (dw(P) <= {bound}), "
+                "and sound for every input"
+            )
+            return Plan(
+                requested="auto",
+                strategy=PEBBLE.name,
+                width=bound,
+                certified=certified,
+                rationale=f"{source}, so the polynomial pebble relaxation runs "
+                f"with k = {bound}; {exactness}",
+            )
+        return Plan(
+            requested="auto",
+            strategy=NATURAL.name,
+            width=None,
+            certified=False,
+            rationale="no width bound was supplied and the domination width has not "
+            "been computed; resolving to the exact natural algorithm instead of "
+            "paying for a width computation",
+        )
+
+    # --- enumeration planning -------------------------------------------------------
+    def plan_enumeration(self, method: str = "auto") -> Plan:
+        """Resolve a ``method=`` for full answer-set enumeration.
+
+        ``auto`` resolves to the natural strategy: it enumerates exactly for
+        every pattern, while the pebble relaxation only decides membership.
+        """
+        if method == "auto":
+            return Plan(
+                requested="auto",
+                strategy=NATURAL.name,
+                width=None,
+                certified=False,
+                rationale="auto resolves enumeration to the natural strategy: it "
+                "enumerates ⟦P⟧G exactly for every pattern, while the pebble "
+                "relaxation decides membership only",
+            )
+        strategy = strategy_for(method)
+        if not strategy.supports_enumeration:
+            enumerable = ("auto",) + tuple(
+                sorted(name for name, s in _STRATEGIES.items() if s.supports_enumeration)
+            )
+            raise EvaluationError(
+                f"the {strategy.name!r} strategy decides membership only; "
+                f"solutions() supports the methods {enumerable}"
+            )
+        return Plan(
+            requested=method,
+            strategy=strategy.name,
+            width=None,
+            certified=False,
+            rationale=f"the {strategy.name} strategy was requested explicitly for enumeration",
+        )

@@ -1,0 +1,478 @@
+"""A multi-pattern, multi-graph evaluation workspace.
+
+Serving realistic wdEVAL traffic means answering *sets* of instances — many
+candidate mappings, many patterns, many graphs — behind one shared cache.
+:class:`Session` is that workspace:
+
+* engines are created (and memoized) per pattern through one shared
+  :class:`~repro.evaluation.cache.EvaluationCache`, so structurally
+  overlapping patterns reuse each other's homomorphism tests, kernels and
+  target indexes;
+* every entry point resolves its ``method=`` through the pattern's
+  :class:`~repro.evaluation.plan.Planner` — exactly once per batch — and
+  :meth:`plan` / :meth:`explain` expose the decision;
+* :meth:`check_many` answers many mappings (deduplicated, optionally over a
+  ``multiprocessing`` pool) with answers guaranteed identical to a loop of
+  :meth:`Engine.contains <repro.evaluation.engine.Engine.contains>` calls;
+* :meth:`solutions_stream` enumerates lazily (a deduplicated generator);
+  :meth:`solutions_many` batches enumeration over many patterns × many
+  graphs — duplicate cells are evaluated once and fanned back out, and an
+  opt-in pool enumerates distinct cells in parallel.
+
+:class:`~repro.evaluation.batch.BatchEngine` is a single-pattern adapter
+over this class.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .cache import EvaluationCache
+from .context import EvalContext
+from .engine import Engine
+from .plan import Plan, Planner
+from .wdeval import EvaluationStatistics
+from ..patterns.forest import WDPatternForest
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import GraphPattern
+from ..sparql.mappings import Mapping
+from ..exceptions import EvaluationError
+
+__all__ = ["Session", "PatternLike"]
+
+#: Anything a session entry point accepts as "a pattern".
+PatternLike = Union[Engine, GraphPattern, WDPatternForest]
+
+
+# --- multiprocessing plumbing -------------------------------------------------
+#
+# Membership workers are initialised once per pool with the forest and graph
+# and then stream mappings; each worker owns an EvaluationCache so the
+# per-graph index, memo tables and consistency kernels are built once per
+# worker, not per task.
+#
+# With the ``fork`` start method the parent warms its own cache *before* the
+# pool is created and hands the live engine to the initializer — fork does not
+# pickle initargs, so every worker starts with the precomputed kernels and
+# target index already in (copy-on-write shared) memory.  Other start methods
+# receive pickled copies and rebuild the µ-independent state once per worker
+# in the initializer instead of lazily per task.
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    forest: WDPatternForest,
+    width_bound: Optional[int],
+    graph: RDFGraph,
+    method: str,
+    width: Optional[int],
+    warm_engine: Optional[Engine] = None,
+) -> None:
+    if warm_engine is not None:
+        # Fork path: the parent's engine (and its warmed cache) arrives by
+        # address, not by pickle; reuse it directly.
+        engine = warm_engine
+    else:
+        engine = Engine(forest=forest, width_bound=width_bound, cache=EvaluationCache())
+        cache = engine.cache
+        if cache is not None:
+            plan = engine.plan(method, width)
+            plan.strategy_obj.warm(engine.forest, graph, plan, cache)
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["method"] = method
+    _WORKER_STATE["width"] = width
+
+
+def _worker_contains(mu: Mapping) -> bool:
+    engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
+    return engine.contains(
+        _WORKER_STATE["graph"],  # type: ignore[arg-type]
+        mu,
+        method=_WORKER_STATE["method"],  # type: ignore[arg-type]
+        width=_WORKER_STATE["width"],  # type: ignore[arg-type]
+    )
+
+
+def _enumerate_chunk(
+    task: Tuple[List[RDFGraph], List[Tuple[WDPatternForest, int]], str]
+) -> List[Set[Mapping]]:
+    """Enumerate a chunk of (pattern, graph) cells in a worker process.
+
+    The task ships each graph the chunk touches once (not once per cell)
+    and the worker enumerates all its cells through one local session, so
+    per-graph state (target index, memoized child tests) is shared across
+    the chunk.  Only forests cross the process boundary (the picklable
+    normal form); the naive strategy evaluates the pattern rebuilt from the
+    forest, which has the same solutions by the normal-form semantics.
+    """
+    graphs, cells, method = task
+    session = Session()
+    return [
+        session.solutions(forest, graphs[graph_index], method=method)
+        for forest, graph_index in cells
+    ]
+
+
+class Session:
+    """Evaluate many patterns against many graphs through one shared cache.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`~repro.evaluation.cache.EvaluationCache`; a fresh
+        one is created when omitted (bounded by *max_entries_per_graph*).
+    processes:
+        Default worker-pool size for the batched entry points; ``None`` (or
+        1) keeps everything serial.  Per-call ``processes=`` overrides it.
+    max_entries_per_graph:
+        Budget for the implicitly created cache (ignored when *cache* is
+        given); see :class:`~repro.evaluation.cache.EvaluationCache`.
+    max_engines:
+        Bound on the engine memo; the least recently used engines (and the
+        pins on their source patterns) are evicted first.  ``None`` (the
+        default) means unbounded — like the cache, prefer a bound for
+        long-lived sessions serving a stream of distinct ad-hoc patterns.
+    warm_on_fork:
+        Whether batched parallel membership warms the µ-independent cache
+        state in the parent before forking workers (default ``True``; see
+        :meth:`warm`).
+
+    >>> from repro.sparql import parse_pattern
+    >>> from repro.rdf import RDFGraph, Triple
+    >>> from repro.sparql.mappings import Mapping
+    >>> session = Session()
+    >>> g = RDFGraph([Triple.of("a", "knows", "b")])
+    >>> p = parse_pattern("((?x knows ?y) OPT (?y email ?e))")
+    >>> session.check_many(p, g, [Mapping.of(x="a", y="b")])
+    [True]
+    """
+
+    def __init__(
+        self,
+        cache: Optional[EvaluationCache] = None,
+        processes: Optional[int] = None,
+        max_entries_per_graph: Optional[int] = None,
+        max_engines: Optional[int] = None,
+        warm_on_fork: bool = True,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise EvaluationError("processes must be a positive integer")
+        if max_engines is not None and max_engines < 1:
+            raise EvaluationError("max_engines must be a positive integer")
+        self._cache = (
+            cache if cache is not None else EvaluationCache(max_entries_per_graph)
+        )
+        self._context = EvalContext(
+            cache=self._cache, processes=processes, warm_on_fork=warm_on_fork
+        )
+        self._max_engines = max_engines
+        # Engine memo: key -> (source object, engine), insertion-ordered by
+        # recency (hits re-insert).  The source reference keeps id()-based
+        # keys valid while the entry lives; eviction drops both.
+        self._engines: Dict[object, Tuple[object, Engine]] = {}
+
+    # --- introspection -----------------------------------------------------
+    @property
+    def cache(self) -> EvaluationCache:
+        """The evaluation cache shared by every engine of this session."""
+        return self._cache
+
+    @property
+    def context(self) -> EvalContext:
+        """The base evaluation context (cache + pool settings)."""
+        return self._context
+
+    @property
+    def engine_count(self) -> int:
+        """How many engines the session currently memoizes."""
+        return len(self._engines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(<{len(self._engines)} engines, "
+            f"processes={self._context.processes}>)"
+        )
+
+    # --- engines -----------------------------------------------------------
+    def engine(self, pattern: PatternLike, width_bound: Optional[int] = None) -> Engine:
+        """The session engine for *pattern*, created once and memoized.
+
+        Accepts a :class:`~repro.sparql.algebra.GraphPattern` (memoized
+        structurally, so equal patterns share one engine), a
+        :class:`~repro.patterns.forest.WDPatternForest`, or an existing
+        :class:`Engine` (re-wired onto the session cache when necessary).
+        """
+        if isinstance(pattern, Engine):
+            if pattern.cache is self._cache and width_bound is None:
+                # Already wired to this session (typically one of our own
+                # memoized engines routed back in): use it as-is.  No memo
+                # entry — the caller holds the reference, and re-memoizing
+                # under a second id-based key would defeat the LRU bound.
+                return pattern
+            key = ("engine", id(pattern), width_bound)
+        elif isinstance(pattern, GraphPattern):
+            key = ("pattern", pattern, width_bound)
+        elif isinstance(pattern, WDPatternForest):
+            key = ("forest", id(pattern), width_bound)
+        else:
+            raise EvaluationError(
+                f"expected an Engine, GraphPattern or WDPatternForest, "
+                f"got {type(pattern).__name__}"
+            )
+        hit = self._engines.pop(key, None)
+        if hit is not None:
+            self._engines[key] = hit  # re-insert at the recent end (LRU)
+            return hit[1]
+        if isinstance(pattern, Engine):
+            engine = Engine(
+                pattern.pattern,
+                pattern.forest,
+                width_bound if width_bound is not None else pattern.width_bound,
+                cache=self._cache,
+            )
+        elif isinstance(pattern, WDPatternForest):
+            engine = Engine(forest=pattern, width_bound=width_bound, cache=self._cache)
+        else:
+            engine = Engine(pattern, width_bound=width_bound, cache=self._cache)
+        if self._max_engines is not None:
+            while len(self._engines) >= self._max_engines:
+                self._engines.pop(next(iter(self._engines)))
+        self._engines[key] = (pattern, engine)
+        return engine
+
+    # --- planning ----------------------------------------------------------
+    def plan(
+        self, pattern: PatternLike, method: str = "auto", width: Optional[int] = None
+    ) -> Plan:
+        """The plan :meth:`check` would execute for this pattern/method."""
+        return self.engine(pattern).plan(method, width)
+
+    def explain(
+        self, pattern: PatternLike, method: str = "auto", width: Optional[int] = None
+    ) -> str:
+        """Human-readable account of the strategy choice (see :meth:`plan`)."""
+        return self.plan(pattern, method, width).explain()
+
+    # --- membership --------------------------------------------------------
+    def check(
+        self,
+        pattern: PatternLike,
+        graph: RDFGraph,
+        mu: Mapping,
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> bool:
+        """Decide ``µ ∈ ⟦P⟧G`` through the session cache."""
+        return self.engine(pattern).contains(
+            graph, mu, method=method, width=width, statistics=statistics
+        )
+
+    def check_many(
+        self,
+        pattern: PatternLike,
+        graph: RDFGraph,
+        mappings: Iterable[Mapping],
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+        processes: Optional[int] = None,
+    ) -> List[bool]:
+        """Decide ``µ ∈ ⟦P⟧G`` for every mapping, in input order.
+
+        Guaranteed to return exactly the booleans a loop of
+        :meth:`Engine.contains` calls would, but sharing the cache across
+        instances, deduplicating repeated mappings, resolving the method
+        once per batch, and — when *processes* (or the session default) asks
+        for it — fanning the instances out over a worker pool.
+
+        *statistics* is only accumulated on the serial path; worker-side
+        counters are not collected.
+        """
+        engine = self.engine(pattern)
+        mappings = list(mappings)
+        if not mappings:
+            return []
+        plan = engine.plan(method, width)
+        strategy = plan.strategy_obj
+        unique: List[Mapping] = []
+        seen: Set[Mapping] = set()
+        for mu in mappings:
+            if mu not in seen:
+                seen.add(mu)
+                unique.append(mu)
+
+        processes = processes if processes is not None else self._context.processes
+        if (
+            processes is not None
+            and processes > 1
+            and len(unique) > 1
+            and strategy.parallel_safe
+        ):
+            answers = dict(zip(unique, self._parallel_contains(engine, graph, unique, plan, processes)))
+        else:
+            context = self._context.with_statistics(statistics)
+            answers = dict(
+                zip(
+                    unique,
+                    strategy.contains_many(
+                        engine.pattern, engine.forest, graph, unique, plan, context
+                    ),
+                )
+            )
+        return [answers[mu] for mu in mappings]
+
+    def _parallel_contains(
+        self,
+        engine: Engine,
+        graph: RDFGraph,
+        mappings: Sequence[Mapping],
+        plan: Plan,
+        processes: int,
+    ) -> List[bool]:
+        processes = min(processes, len(mappings))
+        chunksize = max(1, len(mappings) // (processes * 4))
+        ctx = multiprocessing.get_context()
+        warm_engine: Optional[Engine] = None
+        if ctx.get_start_method() == "fork" and self._context.warm_on_fork:
+            # Build the µ-independent state once in the parent so the workers
+            # fork with warm kernels/indexes instead of rebuilding them.  No
+            # mappings here on purpose: per-mapping witness-subtree lookups
+            # would serialise in the parent (Amdahl); workers do those in
+            # parallel against the copy-on-write shared kernels.
+            plan.strategy_obj.warm(engine.forest, graph, plan, self._cache)
+            warm_engine = engine
+        with ctx.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(
+                engine.forest,
+                engine.width_bound,
+                graph,
+                plan.strategy,
+                plan.width,
+                warm_engine,
+            ),
+        ) as pool:
+            return pool.map(_worker_contains, mappings, chunksize=chunksize)
+
+    def warm(
+        self,
+        pattern: PatternLike,
+        graph: RDFGraph,
+        mappings: Optional[Iterable[Mapping]] = None,
+        method: str = "auto",
+        width: Optional[int] = None,
+    ) -> int:
+        """Precompute the µ-independent evaluation state for *graph*.
+
+        For the pebble strategy this builds the shared target index, the
+        graph domain, and the consistency kernels of every ``(witness
+        subtree, child)`` instance the given *mappings* reach (the
+        root-subtree instances when no mappings are given); for the natural
+        strategy it builds the target index.  Returns the number of kernels
+        ensured.  Warming is a pure performance feature — answers are
+        identical with and without it — and is what :meth:`check_many` does
+        before forking a worker pool.
+        """
+        engine = self.engine(pattern)
+        plan = engine.plan(method, width)
+        return plan.strategy_obj.warm(engine.forest, graph, plan, self._cache, mappings)
+
+    # --- enumeration -------------------------------------------------------
+    def solutions_stream(
+        self, pattern: PatternLike, graph: RDFGraph, method: str = "auto"
+    ) -> Iterator[Mapping]:
+        """Stream ``⟦P⟧G`` lazily as a deduplicated generator.
+
+        ``method="auto"`` resolves to the natural strategy (the planner
+        rejects the pebble strategy, which decides membership only).
+        """
+        return self.engine(pattern).solutions_stream(graph, method)
+
+    def solutions(
+        self, pattern: PatternLike, graph: RDFGraph, method: str = "auto"
+    ) -> Set[Mapping]:
+        """Enumerate the full answer set ``⟦P⟧G`` through the session cache."""
+        return set(self.solutions_stream(pattern, graph, method))
+
+    def solutions_many(
+        self,
+        patterns: Sequence[PatternLike],
+        graphs: Union[RDFGraph, Sequence[RDFGraph]],
+        method: str = "auto",
+        processes: Optional[int] = None,
+    ) -> Union[List[Set[Mapping]], List[List[Set[Mapping]]]]:
+        """Batched enumeration over many patterns × many graphs.
+
+        Returns one answer set per ``(pattern, graph)`` cell: a flat list
+        (one set per pattern) when *graphs* is a single graph, else a matrix
+        with one row per pattern and one column per graph.  Duplicate cells
+        — repeated patterns (structurally, for
+        :class:`~repro.sparql.algebra.GraphPattern` inputs) or repeated
+        graphs — are enumerated **once** and fanned back out, all cells
+        share the session cache, and *processes* (or the session default)
+        enumerates distinct cells in parallel.  Answer sets are guaranteed
+        identical to per-pattern :meth:`Engine.solutions` calls.
+        """
+        single = isinstance(graphs, RDFGraph)
+        graph_list: List[RDFGraph] = [graphs] if single else list(graphs)
+        engines = [self.engine(pattern) for pattern in patterns]
+
+        distinct: Dict[Tuple[int, int], Optional[Set[Mapping]]] = {}
+        order: List[Tuple[Engine, RDFGraph, Tuple[int, int]]] = []
+        for engine in engines:
+            for graph in graph_list:
+                key = (id(engine), id(graph))
+                if key not in distinct:
+                    distinct[key] = None
+                    order.append((engine, graph, key))
+
+        processes = processes if processes is not None else self._context.processes
+        if processes is not None and processes > 1 and len(order) > 1:
+            # Enumeration planning is pattern-independent, so resolve once.
+            strategy = Planner().plan_enumeration(method).strategy
+            workers = min(processes, len(order))
+            chunks = [order[i::workers] for i in range(workers)]
+            tasks = []
+            for chunk in chunks:
+                local_index: Dict[int, int] = {}
+                chunk_graphs: List[RDFGraph] = []
+                cells: List[Tuple[WDPatternForest, int]] = []
+                for engine, graph, _key in chunk:
+                    if id(graph) not in local_index:
+                        local_index[id(graph)] = len(chunk_graphs)
+                        chunk_graphs.append(graph)
+                    cells.append((engine.forest, local_index[id(graph)]))
+                tasks.append((chunk_graphs, cells, strategy))
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(workers) as pool:
+                for chunk, answers in zip(chunks, pool.map(_enumerate_chunk, tasks)):
+                    for (_, _, key), cell_answers in zip(chunk, answers):
+                        distinct[key] = cell_answers
+        else:
+            for engine, graph, key in order:
+                distinct[key] = self.solutions(engine, graph, method=method)
+
+        # Duplicate cells fan out as *independent copies*, exactly like the
+        # equivalent loop of per-pattern Engine.solutions calls; a cell used
+        # once hands out the computed set itself (no copy).
+        uses = {key: 0 for key in distinct}
+        for engine in engines:
+            for graph in graph_list:
+                uses[(id(engine), id(graph))] += 1
+
+        def hand_out(key: Tuple[int, int]) -> Set[Mapping]:
+            uses[key] -= 1
+            answers = distinct[key]
+            return set(answers) if uses[key] > 0 else answers
+
+        matrix = [
+            [hand_out((id(engine), id(graph))) for graph in graph_list] for engine in engines
+        ]
+        if single:
+            return [row[0] for row in matrix]
+        return matrix

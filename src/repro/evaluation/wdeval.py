@@ -15,22 +15,24 @@ The child test is a full homomorphism test, so this engine runs in
 exponential time in the query size in the worst case — it is the coNP
 baseline that the Theorem 1 algorithm relaxes.
 
-The module also provides solution *enumeration* through Lemma 1, used by the
-examples and as a second reference semantics in the tests.
+The canonical implementations (the ``*_ctx`` functions) take an
+:class:`~repro.evaluation.context.EvalContext` bundling the cache and the
+statistics accumulator; the historical ``(statistics, cache)`` signatures
+are kept as thin shims.  The module also provides solution *enumeration*
+through Lemma 1 — both as sets and as deduplicated generators
+(:func:`tree_solutions_stream` / :func:`forest_solutions_stream`), which is
+what :meth:`~repro.evaluation.session.Session.solutions_stream` exposes.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Set
 
-from ..hom.homomorphism import all_homomorphisms, extends_into, find_homomorphism
-from ..hom.tgraph import TGraph
+from .context import EvalContext
 from ..patterns.forest import WDPatternForest
 from ..patterns.tree import Subtree, WDPatternTree
 from ..rdf.graph import RDFGraph
-from ..rdf.terms import Variable
 from ..sparql.mappings import Mapping
-from ..exceptions import EvaluationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .cache import EvaluationCache
@@ -38,11 +40,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 __all__ = [
     "find_mu_subtree",
     "tree_contains",
+    "tree_contains_ctx",
     "forest_contains",
+    "forest_contains_ctx",
     "tree_solutions",
+    "tree_solutions_stream",
     "forest_solutions",
+    "forest_solutions_stream",
     "EvaluationStatistics",
 ]
+
+#: Shared empty context for the shim signatures with neither cache nor stats.
+_PLAIN_CONTEXT = EvalContext()
 
 
 class EvaluationStatistics:
@@ -96,6 +105,44 @@ def find_mu_subtree(tree: WDPatternTree, graph: RDFGraph, mu: Mapping) -> Option
     return subtree
 
 
+# --- membership (canonical, context-based) --------------------------------------
+
+
+def tree_contains_ctx(
+    tree: WDPatternTree, graph: RDFGraph, mu: Mapping, context: EvalContext
+) -> bool:
+    """``µ ∈ ⟦T⟧G`` via Lemma 1 (the natural algorithm, exact but with
+    NP-hard child tests).
+
+    The *context* supplies the cache (witness-subtree lookups and child
+    extension tests are then memoized per graph version — identical answers,
+    see :mod:`repro.evaluation.cache`) and the statistics accumulator.
+    """
+    subtree = context.mu_subtree(tree, graph, mu)
+    if subtree is None:
+        return False
+    context.note_subtree_found()
+    for child in context.children_of(tree, subtree):
+        context.note_child_check()
+        if context.extension_exists(tree.pat(child), graph, mu):
+            return False
+    return True
+
+
+def forest_contains_ctx(
+    forest: WDPatternForest, graph: RDFGraph, mu: Mapping, context: EvalContext
+) -> bool:
+    """``µ ∈ ⟦F⟧G = ⟦T1⟧G ∪ ... ∪ ⟦Tm⟧G`` via the natural algorithm."""
+    for tree in forest:
+        context.note_tree_visited()
+        if tree_contains_ctx(tree, graph, mu, context):
+            return True
+    return False
+
+
+# --- membership (legacy signatures, thin shims) ------------------------------------
+
+
 def tree_contains(
     tree: WDPatternTree,
     graph: RDFGraph,
@@ -103,33 +150,8 @@ def tree_contains(
     statistics: Optional[EvaluationStatistics] = None,
     cache: Optional["EvaluationCache"] = None,
 ) -> bool:
-    """``µ ∈ ⟦T⟧G`` via Lemma 1 (the natural algorithm, exact but with
-    NP-hard child tests).
-
-    With a *cache*, the witness-subtree lookup and the child extension tests
-    are memoized per graph version (identical answers, see
-    :mod:`repro.evaluation.cache`).
-    """
-    if cache is not None:
-        subtree = cache.mu_subtree(tree, graph, mu)
-    else:
-        subtree = find_mu_subtree(tree, graph, mu)
-    if subtree is None:
-        return False
-    if statistics is not None:
-        statistics.subtree_found += 1
-    children = (
-        cache.subtree_children(tree, subtree.nodes) if cache is not None else subtree.children()
-    )
-    for child in children:
-        if statistics is not None:
-            statistics.child_checks += 1
-        if cache is not None:
-            if cache.extension_exists(tree.pat(child), graph, mu):
-                return False
-        elif extends_into(tree.pat(child), graph, mu) is not None:
-            return False
-    return True
+    """Shim for :func:`tree_contains_ctx` with the historical signature."""
+    return tree_contains_ctx(tree, graph, mu, EvalContext.of(statistics, cache))
 
 
 def forest_contains(
@@ -139,37 +161,59 @@ def forest_contains(
     statistics: Optional[EvaluationStatistics] = None,
     cache: Optional["EvaluationCache"] = None,
 ) -> bool:
-    """``µ ∈ ⟦F⟧G = ⟦T1⟧G ∪ ... ∪ ⟦Tm⟧G`` via the natural algorithm."""
-    for tree in forest:
-        if statistics is not None:
-            statistics.trees_visited += 1
-        if tree_contains(tree, graph, mu, statistics, cache):
-            return True
-    return False
+    """Shim for :func:`forest_contains_ctx` with the historical signature."""
+    return forest_contains_ctx(forest, graph, mu, EvalContext.of(statistics, cache))
 
 
-def tree_solutions(tree: WDPatternTree, graph: RDFGraph) -> Set[Mapping]:
-    """Enumerate ``⟦T⟧G`` through Lemma 1.
+# --- enumeration ---------------------------------------------------------------------
+
+
+def tree_solutions_stream(
+    tree: WDPatternTree, graph: RDFGraph, context: Optional[EvalContext] = None
+) -> Iterator[Mapping]:
+    """Stream ``⟦T⟧G`` through Lemma 1, deduplicated, in discovery order.
 
     For every subtree ``T'`` and every homomorphism ``µ`` from ``pat(T')``
     into the graph, ``µ`` is a solution iff no child of ``T'`` admits a
-    compatible extension.
+    compatible extension.  With a caching *context* the homomorphism search
+    runs over the shared target index and the child extension tests are
+    memoized — so enumerating many structurally overlapping patterns through
+    one :class:`~repro.evaluation.session.Session` shares work.
     """
-    solutions: Set[Mapping] = set()
+    context = context if context is not None else _PLAIN_CONTEXT
+    seen: Set[Mapping] = set()
     for subtree in tree.subtrees():
-        children = subtree.children()
-        for hom in all_homomorphisms(subtree.pat(), graph):
+        child_pats = [tree.pat(child) for child in context.children_of(tree, subtree)]
+        for hom in context.homomorphisms(subtree.pat(), graph):
             mu = Mapping(hom)
-            if mu in solutions:
+            if mu in seen:
                 continue
-            if all(extends_into(tree.pat(child), graph, mu) is None for child in children):
-                solutions.add(mu)
-    return solutions
+            if all(not context.extension_exists(pat, graph, mu) for pat in child_pats):
+                seen.add(mu)
+                yield mu
 
 
-def forest_solutions(forest: WDPatternForest, graph: RDFGraph) -> Set[Mapping]:
-    """Enumerate ``⟦F⟧G`` (union over the member trees)."""
-    result: Set[Mapping] = set()
+def forest_solutions_stream(
+    forest: WDPatternForest, graph: RDFGraph, context: Optional[EvalContext] = None
+) -> Iterator[Mapping]:
+    """Stream ``⟦F⟧G`` (union over the member trees, deduplicated)."""
+    seen: Set[Mapping] = set()
     for tree in forest:
-        result |= tree_solutions(tree, graph)
-    return result
+        for mu in tree_solutions_stream(tree, graph, context):
+            if mu not in seen:
+                seen.add(mu)
+                yield mu
+
+
+def tree_solutions(
+    tree: WDPatternTree, graph: RDFGraph, context: Optional[EvalContext] = None
+) -> Set[Mapping]:
+    """Enumerate ``⟦T⟧G`` as a set (see :func:`tree_solutions_stream`)."""
+    return set(tree_solutions_stream(tree, graph, context))
+
+
+def forest_solutions(
+    forest: WDPatternForest, graph: RDFGraph, context: Optional[EvalContext] = None
+) -> Set[Mapping]:
+    """Enumerate ``⟦F⟧G`` as a set (union over the member trees)."""
+    return set(forest_solutions_stream(forest, graph, context))

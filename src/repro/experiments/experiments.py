@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .harness import ExperimentResult, register_experiment, time_batched_membership, time_callable
 from ..evaluation import (
+    Session,
     evaluate_pattern,
     forest_contains,
     forest_contains_pebble,
@@ -166,6 +167,7 @@ def experiment_e4_theorem1_scaling(
         claim="the k=1 pebble relaxation is exact on F_k and scales polynomially",
         columns=["k", "|G|", "queries", "agreement", "t_natural (s)", "t_pebble (s)"],
     )
+    session = Session()
     for k in ks:
         forest = fk_forest(k)
         for size in graph_sizes:
@@ -187,6 +189,10 @@ def experiment_e4_theorem1_scaling(
                     "t_pebble (s)": t_peb,
                 }
             )
+    result.add_note(
+        f"plan: {session.plan(fk_forest(min(ks)), method='pebble', width=1).summary()} "
+        "(dw(F_k) = 1, so the 2-pebble run is exact)"
+    )
     return result
 
 
@@ -325,12 +331,17 @@ def experiment_e9_dichotomy_frontier(
         claim="evaluation cost stays flat on bounded-dw queries and grows on unbounded-dw queries",
         columns=["family", "k", "dw/bw", "t_membership (s)"],
     )
+    session = Session()
     for k in bounded_ks:
         forest = fk_forest(k)
         graph = fk_data_graph(graph_size, graph_size * 6, clique_size=k, seed=k)
         queries = _membership_queries(forest, graph)
         elapsed, _ = time_batched_membership(forest, graph, queries, method="pebble", width=1)
         result.add_row(**{"family": "F_k (dw=1)", "k": k, "dw/bw": 1, "t_membership (s)": elapsed})
+        if k == min(bounded_ks):
+            result.add_note(
+                f"bounded-side plan: {session.plan(forest, method='pebble', width=1).summary()}"
+            )
     for k in unbounded_ks:
         tree = hard_clique_tree(k)
         forest = WDPatternForest([tree])

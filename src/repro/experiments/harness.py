@@ -111,20 +111,22 @@ def time_batched_membership(
     processes: Optional[int] = None,
     repeat: int = 1,
 ) -> tuple[float, List[bool]]:
-    """Time a whole membership workload through the cached batch engine.
+    """Time a whole membership workload through a cached evaluation session.
 
-    Answers every query in *queries* against *graph* in one batched call
-    (best wall-clock over *repeat* runs, like :func:`time_callable`).  A
-    fresh :class:`~repro.evaluation.batch.BatchEngine` — and hence a fresh,
-    cold cache — is built inside the timed callable, so every repeat
-    measures the full batched evaluation rather than warm-cache lookups.
-    This is the path the experiment drivers use for their timing series.
+    Answers every query in *queries* against *graph* in one batched
+    :meth:`~repro.evaluation.session.Session.check_many` call (best
+    wall-clock over *repeat* runs, like :func:`time_callable`).  A fresh
+    :class:`~repro.evaluation.session.Session` — and hence a fresh, cold
+    cache — is built inside the timed callable, so every repeat measures the
+    full batched evaluation rather than warm-cache lookups.  This is the
+    path the experiment drivers use for their timing series.
     """
-    from ..evaluation import BatchEngine
+    from ..evaluation import Session
 
     def run() -> List[bool]:
-        batch = BatchEngine(forest=forest, width_bound=width_bound, processes=processes)
-        return batch.contains_many(graph, queries, method=method, width=width)
+        session = Session(processes=processes)
+        engine = session.engine(forest, width_bound=width_bound)
+        return session.check_many(engine, graph, queries, method=method, width=width)
 
     return time_callable(run, repeat)
 

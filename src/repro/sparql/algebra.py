@@ -107,6 +107,9 @@ class TriplePatternNode(GraphPattern):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("graph patterns are immutable")
 
+    def __reduce__(self):
+        return (TriplePatternNode, (self.triple_pattern,))
+
     def variables(self) -> frozenset[Variable]:
         return self.triple_pattern.variables()
 
@@ -142,6 +145,9 @@ class _Binary(GraphPattern):
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("graph patterns are immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.left, self.right))
 
     def variables(self) -> frozenset[Variable]:
         return self.left.variables() | self.right.variables()

@@ -177,6 +177,7 @@ class TestBatchCommand:
         )
         out = capsys.readouterr().out
         assert exit_code == 0
+        assert "# plan: pebble(k=1, trusted)" in out
         assert "# cache:" in out
 
     def test_batch_missing_bindings_file_reports_error(self, graph_file, capsys):
@@ -220,6 +221,45 @@ class TestBatchCommand:
         err = capsys.readouterr().err
         assert exit_code == 2
         assert "bad.txt:2" in err
+
+
+class TestEvaluateAutoMethod:
+    def test_auto_accepted_and_matches_natural(self, graph_file, capsys):
+        assert main(["evaluate", "--graph", graph_file, "--query", QUERY, "--method", "auto"]) == 0
+        auto_out = capsys.readouterr().out
+        assert main(["evaluate", "--graph", graph_file, "--query", QUERY, "--method", "natural"]) == 0
+        assert auto_out == capsys.readouterr().out
+        assert "# 1 solution(s)" in auto_out
+
+
+class TestExplainCommand:
+    def test_auto_without_bound_is_natural(self, capsys):
+        exit_code = main(["explain", "--query", QUERY])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chosen strategy  : natural" in out
+        assert "rationale" in out
+
+    def test_width_bound_chooses_pebble_trusted(self, capsys):
+        exit_code = main(["explain", "--query", QUERY, "--width-bound", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chosen strategy  : pebble" in out
+        assert "k = 1" in out
+        assert "trusted" in out
+
+    def test_compute_width_certifies(self, capsys):
+        exit_code = main(["explain", "--query", QUERY, "--compute-width"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chosen strategy  : pebble" in out
+        assert "certified" in out
+
+    def test_explicit_method(self, capsys):
+        exit_code = main(["explain", "--query", QUERY, "--method", "naive"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chosen strategy  : naive" in out
 
 
 class TestClassifyAndValidate:

@@ -1,0 +1,173 @@
+"""Unit tests for the planning layer (Strategy registry, Plan, Planner)."""
+
+import pytest
+
+from repro.evaluation import Engine, Plan, Planner, method_names, strategy_for
+from repro.exceptions import EvaluationError
+from repro.workloads.families import fk_data_graph, fk_forest
+
+
+class TestRegistry:
+    def test_method_names(self):
+        assert method_names() == ("auto", "naive", "natural", "pebble")
+
+    def test_strategy_for_known(self):
+        for name in ("naive", "natural", "pebble"):
+            assert strategy_for(name).name == name
+
+    def test_strategy_for_unknown(self):
+        with pytest.raises(EvaluationError):
+            strategy_for("quantum")
+
+    def test_enumeration_support_flags(self):
+        assert strategy_for("naive").supports_enumeration
+        assert strategy_for("natural").supports_enumeration
+        assert not strategy_for("pebble").supports_enumeration
+
+
+class TestPlanner:
+    def test_explicit_methods(self):
+        planner = Planner()
+        assert planner.plan("naive").strategy == "naive"
+        assert planner.plan("natural").strategy == "natural"
+        for plan in (planner.plan("naive"), planner.plan("natural")):
+            assert plan.width is None
+            assert not plan.certified
+
+    def test_pebble_per_call_width_wins_over_bound(self):
+        planner = Planner(width_bound=1)
+        plan = planner.plan("pebble", width=3)
+        assert (plan.strategy, plan.width, plan.certified) == ("pebble", 3, False)
+
+    def test_pebble_without_any_bound_needs_oracle(self):
+        with pytest.raises(EvaluationError):
+            Planner().plan("pebble")
+
+    def test_pebble_oracle_certifies(self):
+        planner = Planner(width_oracle=lambda: 2)
+        plan = planner.plan("pebble")
+        assert (plan.strategy, plan.width, plan.certified) == ("pebble", 2, True)
+
+    def test_auto_prefers_free_bound(self):
+        plan = Planner(width_bound=1).plan("auto")
+        assert (plan.strategy, plan.width, plan.certified) == ("pebble", 1, False)
+
+    def test_auto_uses_known_width_but_never_computes(self):
+        def exploding_oracle():
+            raise AssertionError("auto must not compute the domination width")
+
+        planner = Planner(known_width=lambda: None, width_oracle=exploding_oracle)
+        assert planner.plan("auto").strategy == "natural"
+        planner = Planner(known_width=lambda: 2, width_oracle=exploding_oracle)
+        plan = planner.plan("auto")
+        assert (plan.strategy, plan.width, plan.certified) == ("pebble", 2, True)
+
+    def test_invalid_width_bound(self):
+        with pytest.raises(EvaluationError):
+            Planner(width_bound=0)
+
+    def test_unknown_method(self):
+        with pytest.raises(EvaluationError):
+            Planner().plan("quantum")
+
+    def test_enumeration_auto_is_natural(self):
+        plan = Planner(width_bound=1).plan_enumeration("auto")
+        assert plan.strategy == "natural"
+
+    def test_enumeration_rejects_pebble(self):
+        with pytest.raises(EvaluationError):
+            Planner(width_bound=1).plan_enumeration("pebble")
+
+    def test_plan_is_frozen(self):
+        plan = Planner().plan("natural")
+        with pytest.raises(AttributeError):
+            plan.strategy = "naive"
+
+    def test_summary(self):
+        assert Planner().plan("natural").summary() == "natural"
+        assert Planner(width_bound=2).plan("auto").summary() == "pebble(k=2, trusted)"
+        assert Planner(known_width=lambda: 1).plan("auto").summary() == "pebble(k=1, certified)"
+
+
+class TestEngineAgreement:
+    """Regression: `contains` and `resolve_method` run through one planner,
+    so they must agree on every method × width-bound combination."""
+
+    METHODS = ("auto", "naive", "natural", "pebble")
+    WIDTH_BOUNDS = (None, 1, 2)
+    WIDTHS = (None, 2)
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        forest = fk_forest(2)
+        graph = fk_data_graph(5, 25, clique_size=2, seed=3)
+        queries = sorted(
+            Engine(forest=forest).solutions(graph, method="natural"), key=repr
+        )[:3]
+        assert queries, "workload generated no membership queries"
+        return forest, graph, queries
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("width_bound", WIDTH_BOUNDS)
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_contains_matches_resolved_plan(self, workload, method, width_bound, width):
+        forest, graph, queries = workload
+        engine = Engine(forest=forest, width_bound=width_bound)
+        resolved_method, resolved_width = engine.resolve_method(method, width)
+        plan = engine.plan(method, width)
+        assert (plan.strategy, plan.width) == (resolved_method, resolved_width)
+        for mu in queries:
+            assert engine.contains(graph, mu, method=method, width=width) == engine.contains(
+                graph, mu, method=resolved_method, width=resolved_width
+            )
+
+    def test_auto_upgrades_after_width_computation(self, workload):
+        forest, graph, queries = workload
+        engine = Engine(forest=forest)
+        assert engine.resolve_method("auto") == ("natural", None)
+        before = [engine.contains(graph, mu, method="auto") for mu in queries]
+        engine.domination_width()
+        assert engine.resolve_method("auto") == ("pebble", 1)
+        # dw(F_2) = 1 certifies the pebble run, so the answers are unchanged.
+        assert [engine.contains(graph, mu, method="auto") for mu in queries] == before
+
+
+class TestExplainSnapshots:
+    def test_uncertified_bound(self):
+        engine = Engine(forest=fk_forest(2), width_bound=1)
+        assert engine.explain("auto") == (
+            "requested method : auto\n"
+            "chosen strategy  : pebble — Theorem 1: natural evaluation with the "
+            "existential (k+1)-pebble relaxation\n"
+            "width bound      : k = 1 (trusted: supplied bound, not verified)\n"
+            "pebble game      : existential 2-pebble game\n"
+            "rationale        : the engine's width_bound declares dw(P) <= 1, so "
+            "the polynomial pebble relaxation runs with k = 1; it is exact if the "
+            "bound holds (dw(P) <= 1), and sound for every input"
+        )
+
+    def test_certified_bound(self):
+        engine = Engine(forest=fk_forest(2))
+        engine.domination_width()
+        assert engine.explain("auto") == (
+            "requested method : auto\n"
+            "chosen strategy  : pebble — Theorem 1: natural evaluation with the "
+            "existential (k+1)-pebble relaxation\n"
+            "width bound      : k = 1 (certified: computed domination width of the pattern)\n"
+            "pebble game      : existential 2-pebble game\n"
+            "rationale        : the domination width dw(P) = 1 was already "
+            "computed, so the polynomial pebble relaxation runs with k = 1; the "
+            "algorithm is exact (Theorem 1)"
+        )
+
+    def test_natural_fallback(self):
+        engine = Engine(forest=fk_forest(2))
+        assert engine.explain("auto") == (
+            "requested method : auto\n"
+            "chosen strategy  : natural — exact wdPF evaluation (Lemma 1) with "
+            "full homomorphism child tests\n"
+            "width bound      : n/a (width-free strategy)\n"
+            "rationale        : no width bound was supplied and the domination "
+            "width has not been computed; resolving to the exact natural "
+            "algorithm instead of paying for a width computation"
+        )
