@@ -113,6 +113,9 @@ def run_throughput(
         "|G|": len(graph),
         "mappings": n,
         "method": method,
+        # The (memoized) plan the engine actually executes per call — for
+        # method="auto" this is the cost model's per-cell pick.
+        "plan": engine.plan(method, width=1, graph=graph).summary(),
         "positive": sum(single),
         "single (maps/s)": n / t_single,
         "batched (maps/s)": n / t_batched,
@@ -132,7 +135,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     rows = []
-    for method in ("natural", "pebble"):
+    # "auto" exercises the cost-based planner: it resolves (and memoizes)
+    # one plan for this (pattern, graph) cell and the per-call loop pays no
+    # further planning cost.
+    for method in ("natural", "pebble", "auto"):
         rows.append(
             run_throughput(
                 k=args.k,

@@ -27,21 +27,34 @@ It prints a throughput table (pattern instances/second) for
   instance;
 * ``batched`` — one ``Session.solutions_many`` call over the whole list;
 
+plus a **warm-fork parallel** case comparing
+
+* ``cold workers`` — parallel ``solutions_many`` with ``warm_on_fork=False``:
+  every enumeration worker rebuilds its cache (index, searches) from
+  scratch;
+* ``warm fork``    — the same pool, but forked from a steady-state session
+  whose cache is hot, so the workers inherit the target indexes, memoized
+  homomorphism lists and child tests and replay them from memory;
+
 **asserts** the acceptance criteria — batched throughput at least 2x the
-looped throughput across >= 10 pattern instances, with identical answer
-sets — and writes a machine-readable perf record to
-``BENCH_session_enumeration.json``.
+looped throughput across >= 10 pattern instances, and warm-fork parallel
+enumeration at least 1.5x the cold-worker baseline, each with identical
+answer sets — and writes a machine-readable perf record to
+``BENCH_session_enumeration.json``.  (The parallel assertion needs the
+``fork`` start method and is reported-but-skipped elsewhere.)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import pickle
 import time
 from typing import List, Tuple
 
 from repro.evaluation import Engine, Session
+from repro.experiments.harness import time_batched_enumeration
 from repro.patterns import WDPatternForest
 from repro.rdf.generators import random_graph
 from repro.workloads.random_patterns import random_wd_tree
@@ -50,6 +63,8 @@ from repro.workloads.random_patterns import random_wd_tree
 REQUIRED_SPEEDUP = 2.0
 #: Minimum workload size the requirement is stated for.
 REQUIRED_PATTERNS = 10
+#: Minimum warm-fork-over-cold-worker speedup for parallel enumeration.
+PARALLEL_REQUIRED_SPEEDUP = 1.5
 
 
 def query_log_workload(
@@ -128,10 +143,67 @@ def run_benchmark(
     }
 
 
+def run_parallel_benchmark(
+    distinct: int = 8,
+    repeats: int = 3,
+    num_nodes: int = 5,
+    graph_nodes: int = 18,
+    graph_triples: int = 140,
+    seed: int = 31,
+    processes: int = 2,
+    repeat: int = 1,
+) -> dict:
+    """The warm-fork case: parallel enumeration, cold vs inherited caches.
+
+    Both sides run the identical pool over the identical distinct cells;
+    the only difference is whether the workers fork from a hot steady-state
+    session (``warm=True``) or rebuild their caches from scratch
+    (``warm_on_fork=False``).  Answer sets are asserted identical to a
+    serial run.
+    """
+    workload, graph = query_log_workload(
+        distinct, repeats, num_nodes, graph_nodes, graph_triples, seed
+    )
+    serial = Session().solutions_many(workload, graph, method="natural")
+
+    t_cold, cold = time_batched_enumeration(
+        workload, graph, method="natural", processes=processes,
+        warm=False, warm_on_fork=False, repeat=repeat,
+    )
+    t_warm, warm = time_batched_enumeration(
+        workload, graph, method="natural", processes=processes,
+        warm=True, repeat=repeat,
+    )
+
+    assert _canonical(cold) == _canonical(serial), "cold-worker answer sets differ"
+    assert _canonical(warm) == _canonical(serial), "warm-fork answer sets differ"
+    n = len(workload)
+    return {
+        "patterns": n,
+        "distinct": distinct,
+        "|G|": len(graph),
+        "processes": processes,
+        "solutions": sum(len(answers) for answers in serial),
+        "cold workers (patterns/s)": n / t_cold,
+        "warm fork (patterns/s)": n / t_warm,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "speedup (warm/cold)": t_cold / t_warm,
+    }
+
+
 def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+def _print_table(row: dict) -> None:
+    columns = list(row)
+    widths = {c: max(len(c), len(_fmt(row[c]))) for c in columns}
+    print(" | ".join(c.ljust(widths[c]) for c in columns))
+    print("-+-".join("-" * widths[c] for c in columns))
+    print(" | ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
 
 
 def main(argv=None) -> int:
@@ -144,6 +216,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=23)
     parser.add_argument("--repeat", type=int, default=1, help="timing repetitions (best-of)")
     parser.add_argument(
+        "--processes", type=int, default=2, help="pool size for the warm-fork parallel case"
+    )
+    parser.add_argument(
         "--smoke", action="store_true", help="smaller workload for CI smoke runs"
     )
     parser.add_argument(
@@ -152,6 +227,16 @@ def main(argv=None) -> int:
         help="where to write the JSON perf record",
     )
     args = parser.parse_args(argv)
+
+    # Workload flags the user explicitly changed also apply to the parallel
+    # case (which has its own heavier defaults); record them before the
+    # smoke tuning rewrites args.
+    workload_flags = ("distinct", "repeats", "num_nodes", "graph_nodes", "graph_triples", "seed")
+    user_overrides = {
+        name: getattr(args, name)
+        for name in workload_flags
+        if getattr(args, name) != parser.get_default(name)
+    }
 
     if args.smoke:
         args.distinct = 4
@@ -168,19 +253,29 @@ def main(argv=None) -> int:
         seed=args.seed,
         repeat=args.repeat,
     )
+    _print_table(row)
 
-    columns = list(row)
-    widths = {c: max(len(c), len(_fmt(row[c]))) for c in columns}
-    print(" | ".join(c.ljust(widths[c]) for c in columns))
-    print("-+-".join("-" * widths[c] for c in columns))
-    print(" | ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
+    fork_available = multiprocessing.get_start_method(allow_none=False) == "fork"
+    parallel_row = None
+    if fork_available:
+        parallel_kwargs = dict(processes=args.processes, repeat=args.repeat)
+        if args.smoke:
+            parallel_kwargs.update(distinct=6, repeats=3, graph_nodes=16, graph_triples=110)
+        parallel_kwargs.update(user_overrides)
+        parallel_row = run_parallel_benchmark(**parallel_kwargs)
+        print()
+        _print_table(parallel_row)
+    else:
+        print("\n(parallel warm-fork case skipped: 'fork' start method unavailable)")
 
     record = {
         "benchmark": "session_enumeration",
         "smoke": bool(args.smoke),
         "required_speedup": REQUIRED_SPEEDUP,
         "required_patterns": REQUIRED_PATTERNS,
+        "parallel_required_speedup": PARALLEL_REQUIRED_SPEEDUP,
         **row,
+        "parallel": parallel_row,
     }
     with open(args.record, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
@@ -200,6 +295,18 @@ def main(argv=None) -> int:
         f"OK: batched enumeration is {speedup:.1f}x looped on {row['patterns']} "
         f"pattern instances (>= {REQUIRED_SPEEDUP}x required), answer sets identical."
     )
+    if parallel_row is not None:
+        parallel_speedup = parallel_row["speedup (warm/cold)"]
+        assert parallel_speedup >= PARALLEL_REQUIRED_SPEEDUP, (
+            f"warm-fork parallel enumeration is only {parallel_speedup:.2f}x the "
+            f"cold-worker baseline (required: >= {PARALLEL_REQUIRED_SPEEDUP}x)"
+        )
+        print(
+            f"OK: warm-fork parallel enumeration is {parallel_speedup:.1f}x the "
+            f"cold-worker baseline on {parallel_row['patterns']} pattern instances "
+            f"x {parallel_row['processes']} workers "
+            f"(>= {PARALLEL_REQUIRED_SPEEDUP}x required), answer sets identical."
+        )
     return 0
 
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Documentation checks: resolve relative links, smoke-run python snippets.
+
+Run from the repository root (CI does both as one step)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Two checks over ``README.md`` and every ``docs/*.md``:
+
+* **link check** — every relative markdown link target (``[text](path)``)
+  must exist on disk (anchors are stripped; ``http(s)``/``mailto`` links
+  are not fetched);
+* **snippet smoke** — every fenced ```` ```python ```` block that looks
+  self-contained (no ``...`` placeholder ellipses) is executed in a fresh
+  namespace, so the documentation's code can never silently rot.  Blocks
+  with placeholders are skipped but counted, and the summary prints both
+  numbers.
+
+The module is importable (``check_links`` / ``run_snippets``) — the tier-1
+suite runs the same checks via ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Markdown inline links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+#: Fenced python code blocks.
+_PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _doc_files(root: Path) -> List[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(root: Path) -> List[str]:
+    """Return one error string per broken relative link (empty = all good)."""
+    errors: List[str] = []
+    for path in _doc_files(root):
+        for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def run_snippets(root: Path) -> Tuple[int, int, List[str]]:
+    """Execute the self-contained python snippets of every doc file.
+
+    Returns ``(executed, skipped, errors)``; a snippet is skipped when it
+    contains a ``...`` placeholder (illustrative, not runnable).
+    """
+    executed = 0
+    skipped = 0
+    errors: List[str] = []
+    for path in _doc_files(root):
+        for index, match in enumerate(_PYTHON_BLOCK.finditer(path.read_text(encoding="utf-8"))):
+            code = match.group(1)
+            if "..." in code or "…" in code:
+                skipped += 1
+                continue
+            try:
+                exec(compile(code, f"{path.name}[snippet {index}]", "exec"), {"__name__": "__doc_snippet__"})
+                executed += 1
+            except Exception as error:  # noqa: BLE001 - report and continue
+                errors.append(f"{path.relative_to(root)} snippet {index}: {type(error).__name__}: {error}")
+    return executed, skipped, errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))  # snippets import `repro`
+    link_errors = check_links(root)
+    executed, skipped, snippet_errors = run_snippets(root)
+    for error in link_errors + snippet_errors:
+        print(f"FAIL {error}")
+    print(
+        f"doc check: {len(_doc_files(root))} file(s), "
+        f"{executed} snippet(s) executed, {skipped} skipped, "
+        f"{len(link_errors)} broken link(s), {len(snippet_errors)} snippet failure(s)"
+    )
+    return 1 if link_errors or snippet_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ A small CLI so that the library can be used without writing Python::
     python -m repro check    --graph data.nt --query QUERY --binding x=alice --binding y=bob
     python -m repro batch    --graph data.nt --query QUERY --bindings-file mappings.txt
     python -m repro explain  --query QUERY --width-bound 1
+    python -m repro explain  --query QUERY --graph data.nt --cost
     python -m repro classify --query QUERY
     python -m repro validate --query QUERY
 
@@ -26,7 +27,9 @@ Sub-commands
 ``explain``
     Print the evaluation :class:`~repro.evaluation.plan.Plan` the planner
     resolves for the query — chosen strategy, width bound, certification
-    status and rationale — without evaluating anything.
+    status and rationale — without evaluating anything.  With ``--cost``
+    (and ``--graph``), the plan is resolved **per cell** through the cost
+    model and the per-strategy estimates are printed.
 ``classify``
     Print the width profile (domination width, branch treewidth, local width)
     and the Theorem 3 verdict.
@@ -112,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats", action="store_true", help="print the plan and cache statistics after the run"
     )
+    batch.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each verdict as soon as it is computed (serial; "
+        "incompatible with --processes)",
+    )
 
     explain = subparsers.add_parser(
         "explain", help="show the evaluation plan the planner resolves for a query"
@@ -134,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compute the true domination width first (certifies the bound "
         "and lets 'auto' choose the pebble strategy)",
+    )
+    explain.add_argument(
+        "--graph",
+        default=None,
+        help="N-Triples style data file the cost model estimates against "
+        "(only used together with --cost)",
+    )
+    explain.add_argument(
+        "--cost",
+        action="store_true",
+        help="print the cost model's per-strategy estimates for the graph "
+        "(requires --graph) and let 'auto' pick per cell",
     )
 
     classify = subparsers.add_parser("classify", help="width profile and tractability verdict")
@@ -202,24 +223,41 @@ def _load_bindings_file(path: str) -> List[Mapping]:
     return mappings
 
 
+def _render_mapping(mu: Mapping) -> str:
+    rendered = " ".join(
+        f"{var.name}={value.value if hasattr(value, 'value') else value}"
+        for var, value in sorted(mu.items(), key=lambda kv: kv[0].name)
+    )
+    return rendered if rendered else "-"
+
+
 def _command_batch(args: argparse.Namespace) -> int:
+    if args.stream and args.processes is not None and args.processes > 1:
+        raise ReproError("--stream prints verdicts as they are computed and is serial; "
+                         "drop --processes or --stream")
     graph = load_graph(args.graph)
     mappings = _load_bindings_file(args.bindings_file)
     session = Session(processes=args.processes)
     pattern = session.engine(parse_pattern(args.query), width_bound=args.width)
-    answers = session.check_many(
-        pattern, graph, mappings, method=args.method, width=args.width
-    )
-    for mu, answer in zip(mappings, answers):
-        rendered = " ".join(
-            f"{var.name}={value.value if hasattr(value, 'value') else value}"
-            for var, value in sorted(mu.items(), key=lambda kv: kv[0].name)
+    if args.stream:
+        # Stream each verdict as soon as it is computed; the shared session
+        # cache still deduplicates the underlying work, so the verdicts are
+        # identical to the batched path below.
+        answers = []
+        for mu in mappings:
+            answer = session.check(pattern, graph, mu, method=args.method, width=args.width)
+            answers.append(answer)
+            print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}", flush=True)
+    else:
+        answers = session.check_many(
+            pattern, graph, mappings, method=args.method, width=args.width
         )
-        print(f"{'IN    ' if answer else 'NOT-IN'} {rendered if rendered else '-'}")
+        for mu, answer in zip(mappings, answers):
+            print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}")
     positive = sum(answers)
     print(f"# {positive} of {len(answers)} mapping(s) are solutions")
     if args.stats:
-        plan = session.plan(pattern, method=args.method, width=args.width)
+        plan = session.plan(pattern, method=args.method, width=args.width, graph=graph)
         print(f"# plan: {plan.summary()}")
         stats = session.cache.statistics
         print(f"# cache: {stats.hits} hits, {stats.misses} misses ({stats.hit_rate():.0%} hit rate)")
@@ -227,11 +265,18 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
+    if args.cost and args.graph is None:
+        raise ReproError("--cost estimates strategy costs for a concrete graph; "
+                         "supply the data file with --graph")
+    if args.graph is not None and not args.cost:
+        raise ReproError("--graph only affects explain together with --cost "
+                         "(the graph-free plan ignores it)")
     pattern = parse_pattern(args.query)
     engine = Engine(pattern, width_bound=args.width_bound)
     if args.compute_width:
         engine.domination_width()
-    plan = engine.plan(method=args.method)
+    graph = load_graph(args.graph) if args.cost else None
+    plan = engine.plan(method=args.method, graph=graph)
     print(f"query            : {to_text(pattern)}")
     print(plan.explain())
     return 0

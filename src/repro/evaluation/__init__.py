@@ -24,7 +24,17 @@ from .pebble_eval import (
 )
 from .extended import evaluate_extended, extended_pattern_contains
 from .cache import CacheStatistics, EvaluationCache
-from .plan import Plan, Planner, Strategy, method_names, register_strategy, strategy_for
+from .plan import (
+    CostEstimate,
+    CostModel,
+    PatternStats,
+    Plan,
+    Planner,
+    Strategy,
+    method_names,
+    register_strategy,
+    strategy_for,
+)
 from .engine import Engine
 from .session import Session
 from .batch import BatchEngine, contains_many_patterns, contains_matrix
@@ -51,6 +61,9 @@ __all__ = [
     "extended_pattern_contains",
     "CacheStatistics",
     "EvaluationCache",
+    "CostEstimate",
+    "CostModel",
+    "PatternStats",
     "Plan",
     "Planner",
     "Strategy",

@@ -11,8 +11,10 @@ session:
   :class:`~repro.evaluation.cache.EvaluationCache`;
 * duplicate mappings in the input are answered once and fanned back out;
 * the ``method=`` argument is resolved once per batch by the engine's
-  :class:`~repro.evaluation.plan.Planner` (the *only* place ``"auto"`` is
-  resolved);
+  cost-based :class:`~repro.evaluation.plan.Planner` (the *only* place
+  ``"auto"`` is resolved — per ``(pattern, graph)`` cell, with the
+  estimate available via :meth:`Engine.plan
+  <repro.evaluation.engine.Engine.plan>`);
 * batched ``"naive"`` evaluation materialises ``⟦P⟧G`` a single time;
 * an opt-in :mod:`multiprocessing` pool (``processes=``) splits
   embarrassingly parallel instance sets across workers.

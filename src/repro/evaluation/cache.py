@@ -12,6 +12,13 @@ tree.  :class:`EvaluationCache` memoizes all of it:
   ``(triples, fixed-bindings)``, where the fixed bindings are ``µ``
   restricted to the variables the triples actually mention, so distinct
   mappings that induce the same sub-instance share one search;
+* **homomorphism lists** — the full (µ-independent) answer list of one
+  subtree pattern against the graph, which is what solution enumeration
+  iterates; repeated or forked enumerations replay from memory;
+* **tree solution lists** — the complete enumerated answer list ``⟦T⟧G`` of
+  one pattern tree, recorded when an enumeration runs to completion, so
+  steady-state sessions (and warm-forked enumeration workers) replay whole
+  answer sets instead of re-deriving them;
 * **pebble-game verdicts** — keyed the same way plus the distinguished set
   and the number of pebbles;
 * **consistency kernels** — one precomputed
@@ -72,6 +79,8 @@ class CacheStatistics:
     __slots__ = (
         "hom_hits",
         "hom_misses",
+        "enum_hits",
+        "enum_misses",
         "pebble_hits",
         "pebble_misses",
         "kernel_hits",
@@ -85,6 +94,8 @@ class CacheStatistics:
     def __init__(self) -> None:
         self.hom_hits = 0
         self.hom_misses = 0
+        self.enum_hits = 0
+        self.enum_misses = 0
         self.pebble_hits = 0
         self.pebble_misses = 0
         self.kernel_hits = 0
@@ -97,12 +108,24 @@ class CacheStatistics:
     @property
     def hits(self) -> int:
         """Total cache hits across all memoized operations."""
-        return self.hom_hits + self.pebble_hits + self.kernel_hits + self.subtree_hits
+        return (
+            self.hom_hits
+            + self.enum_hits
+            + self.pebble_hits
+            + self.kernel_hits
+            + self.subtree_hits
+        )
 
     @property
     def misses(self) -> int:
         """Total cache misses across all memoized operations."""
-        return self.hom_misses + self.pebble_misses + self.kernel_misses + self.subtree_misses
+        return (
+            self.hom_misses
+            + self.enum_misses
+            + self.pebble_misses
+            + self.kernel_misses
+            + self.subtree_misses
+        )
 
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache (0.0 when unused)."""
@@ -286,6 +309,7 @@ class EvaluationCache:
         del self._trees[tree_id]
         for store in self._graphs.values():
             store.drop_matching("subtree", lambda key: key[0] == tree_id)
+            store.drop_matching("treesol", lambda key: key[0] == tree_id)
         self._statistics.evictions += 1
 
     def _bounded_insert(
@@ -326,6 +350,59 @@ class EvaluationCache:
         )
         self._bounded_insert(store, "hom", key, result)
         return result
+
+    def homomorphisms_stream(
+        self, source: TGraph, graph: RDFGraph
+    ) -> Iterator[Dict[Variable, Term]]:
+        """All homomorphisms from *source* into *graph*, lazily, memoized.
+
+        This is the µ-independent search of solution enumeration (Lemma 1
+        iterates the homomorphisms of every subtree pattern), keyed on the
+        source triples per graph version.  A recorded list replays from
+        memory; otherwise the indexed search streams **lazily** (first
+        results cost no more than the direct search) and the complete list
+        is recorded only when the consumer exhausts the generator without
+        the graph mutating mid-stream.  Entries are charged roughly one
+        cost unit per stored homomorphism, so bounded caches evict large
+        answer lists first.  Warmed/forked workers inherit recorded lists
+        and replay enumeration instead of re-running the search.
+        """
+        from ..hom.homomorphism import all_homomorphisms
+
+        store = self._store(graph)
+        key = (source.triples(),)
+        cached = store.get("homlist", key)
+        if cached is not _MISSING:
+            self._statistics.enum_hits += 1
+            return iter(cached)  # type: ignore[arg-type]
+        self._statistics.enum_misses += 1
+        # Snapshot the version together with the index: both belong to the
+        # graph as it is *now*.  If the graph mutates before (or while) the
+        # stream is consumed, the completion check below fails and nothing
+        # is recorded — a stale list must never be recorded under the new
+        # version's store.
+        version = graph.version
+        index = self.target_index(graph)
+
+        def search_and_record() -> Iterator[Dict[Variable, Term]]:
+            recorded: list = []
+            for hom in all_homomorphisms(source, graph, index=index):
+                recorded.append(hom)
+                yield hom
+            if graph.version == version:
+                self._bounded_insert(
+                    self._store(graph), "homlist", key, tuple(recorded),
+                    cost=1 + len(recorded),
+                )
+
+        return search_and_record()
+
+    def homomorphism_list(
+        self, source: TGraph, graph: RDFGraph
+    ) -> Tuple[Dict[Variable, Term], ...]:
+        """The complete (memoized) homomorphism list — the eager face of
+        :meth:`homomorphisms_stream`."""
+        return tuple(self.homomorphisms_stream(source, graph))
 
     def pebble_kernel(
         self, extended: GeneralizedTGraph, graph: RDFGraph, pebbles: int
@@ -394,6 +471,36 @@ class EvaluationCache:
         if nodes is None:
             return None
         return Subtree(tree, nodes)
+
+    def tree_solution_list(
+        self, tree: WDPatternTree, graph: RDFGraph
+    ) -> Optional[Tuple[Mapping, ...]]:
+        """The recorded complete answer list ``⟦T⟧G`` (``None`` if absent).
+
+        Recorded by :func:`~repro.evaluation.wdeval.tree_solutions_stream`
+        when an enumeration runs to completion; keyed per tree and graph
+        version, so mutation invalidates transparently.
+        """
+        store = self._store(graph)
+        self._tree_table(tree)  # pin the tree so the id() key stays valid
+        cached = store.get("treesol", (id(tree),))
+        if cached is _MISSING:
+            self._statistics.enum_misses += 1
+            return None
+        self._statistics.enum_hits += 1
+        return cached  # type: ignore[return-value]
+
+    def store_tree_solution_list(
+        self, tree: WDPatternTree, graph: RDFGraph, solutions: Iterable[Mapping]
+    ) -> None:
+        """Record the complete answer list of *tree* over *graph* (charged
+        roughly one cost unit per solution, like homomorphism lists)."""
+        store = self._store(graph)
+        self._tree_table(tree)
+        solutions = tuple(solutions)
+        self._bounded_insert(
+            store, "treesol", (id(tree),), solutions, cost=1 + len(solutions)
+        )
 
     # --- warm-up ------------------------------------------------------------
     def warm_pebble(

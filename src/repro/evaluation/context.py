@@ -13,8 +13,9 @@ environment:
   entry points (:class:`~repro.evaluation.session.Session`).
 
 The context also owns the cache-or-direct helpers (`mu_subtree`,
-`children_of`, `extension_exists`, `pebble_winner`, ...), so the algorithms
-in :mod:`~repro.evaluation.wdeval` / :mod:`~repro.evaluation.pebble_eval`
+`children_of`, `extension_exists`, `pebble_winner`, `homomorphisms`,
+`tree_solutions_list`, ...), so the algorithms in
+:mod:`~repro.evaluation.wdeval` / :mod:`~repro.evaluation.pebble_eval`
 contain the algorithm and nothing else, and the two code paths can never
 drift apart.  A context is immutable; derive variants with
 :meth:`with_statistics` / :meth:`with_cache`.
@@ -158,6 +159,34 @@ class EvalContext:
             return self.cache.target_index(graph)
         return None
 
+    def tree_solutions_list(
+        self, tree: WDPatternTree, graph: RDFGraph
+    ) -> Optional[Tuple[Mapping, ...]]:
+        """The recorded complete answer list ``⟦T⟧G``, or ``None`` when no
+        cache is attached or no completed enumeration was recorded yet."""
+        if self.cache is None:
+            return None
+        return self.cache.tree_solution_list(tree, graph)
+
+    def record_tree_solutions(
+        self, tree: WDPatternTree, graph: RDFGraph, solutions: Iterable[Mapping]
+    ) -> None:
+        """Record a **complete** enumeration of ``⟦T⟧G`` (no-op uncached)."""
+        if self.cache is not None:
+            self.cache.store_tree_solution_list(tree, graph, solutions)
+
     def homomorphisms(self, source: TGraph, graph: RDFGraph) -> Iterator[dict]:
-        """All homomorphisms from *source* into *graph* (indexed when cached)."""
-        return all_homomorphisms(source, graph, index=self.target_index(graph))
+        """All homomorphisms from *source* into *graph* (always lazy).
+
+        With a cache the indexed search records its complete answer list per
+        graph version on exhaustion
+        (:meth:`EvaluationCache.homomorphisms_stream
+        <repro.evaluation.cache.EvaluationCache.homomorphisms_stream>`) —
+        the search runs at most once and later enumerations (including
+        forked workers that inherit the cache) replay it from memory, while
+        the first results of a fresh search arrive as cheaply as the direct
+        generator.
+        """
+        if self.cache is not None:
+            return self.cache.homomorphisms_stream(source, graph)
+        return all_homomorphisms(source, graph)

@@ -30,7 +30,7 @@ from typing import Dict, Iterator, Optional, Set
 
 from .cache import EvaluationCache
 from .context import EvalContext
-from .plan import Plan, Planner
+from .plan import Plan, Planner, PatternStats
 from .wdeval import EvaluationStatistics
 from ..patterns.build import pattern_of_forest, wdpf
 from ..patterns.forest import WDPatternForest
@@ -94,10 +94,12 @@ class Engine:
         self._forest = forest
         self._width_bound = width_bound
         self._domination_width: Optional[int] = None
+        self._pattern_stats: Optional[PatternStats] = None
         self._planner = Planner(
             width_bound=width_bound,
             known_width=lambda: self._domination_width,
             width_oracle=self.domination_width,
+            pattern_stats=self.pattern_stats,
         )
         self._context = EvalContext(cache=cache)
 
@@ -137,6 +139,16 @@ class Engine:
         """The planner resolving ``method=`` arguments for this engine."""
         return self._planner
 
+    def pattern_stats(self) -> PatternStats:
+        """Cheap structural statistics of the pattern (computed once).
+
+        These feed the planner's :class:`~repro.evaluation.plan.CostModel`
+        whenever a plan is resolved for a concrete graph.
+        """
+        if self._pattern_stats is None:
+            self._pattern_stats = PatternStats.of(self._forest)
+        return self._pattern_stats
+
     def domination_width(self) -> int:
         """The (computed and cached) domination width of the pattern.
 
@@ -152,25 +164,46 @@ class Engine:
         return self._domination_width
 
     # --- planning ----------------------------------------------------------------------
-    def plan(self, method: str = "auto", width: Optional[int] = None) -> Plan:
+    def plan(
+        self,
+        method: str = "auto",
+        width: Optional[int] = None,
+        graph: Optional[RDFGraph] = None,
+    ) -> Plan:
         """The :class:`~repro.evaluation.plan.Plan` that :meth:`contains`
-        would execute for ``(method, width)``."""
-        return self._planner.plan(method, width)
+        would execute for ``(method, width)``.
 
-    def explain(self, method: str = "auto", width: Optional[int] = None) -> str:
-        """Human-readable account of the strategy choice (see :meth:`plan`)."""
-        return self.plan(method, width).explain()
+        With a *graph* the plan is resolved **per cell**: it carries the
+        planner's :class:`~repro.evaluation.plan.CostEstimate` and ``auto``
+        picks the cheapest admissible strategy for that graph (this is what
+        :meth:`contains` does).  Without one the graph-free rules apply.
+        Plans are memoized, so repeated calls return the same frozen object.
+        """
+        return self._planner.plan(method, width, graph=graph)
+
+    def explain(
+        self,
+        method: str = "auto",
+        width: Optional[int] = None,
+        graph: Optional[RDFGraph] = None,
+    ) -> str:
+        """Human-readable account of the strategy choice (see :meth:`plan`);
+        with a *graph* the account includes the per-cell cost estimate."""
+        return self.plan(method, width, graph=graph).explain()
 
     def resolve_method(
-        self, method: str = "auto", width: Optional[int] = None
+        self, method: str = "auto", width: Optional[int] = None,
+        graph: Optional[RDFGraph] = None,
     ) -> tuple[str, Optional[int]]:
-        """The concrete ``(method, width)`` that :meth:`contains` would run.
+        """The concrete ``(method, width)`` a call with these arguments runs.
 
         A compatibility projection of :meth:`plan` — the planner is the
-        single home of the resolution logic, so this can never disagree with
-        :meth:`contains`.
+        single home of the resolution logic.  Like :meth:`plan` it resolves
+        graph-free by default; pass the *graph* to see the cost-aware
+        decision :meth:`contains` executes for that graph (the two can
+        differ for ``method="auto"``, since the cost model picks per cell).
         """
-        plan = self._planner.plan(method, width)
+        plan = self._planner.plan(method, width, graph=graph)
         return plan.strategy, plan.width
 
     # --- membership --------------------------------------------------------------------
@@ -185,8 +218,11 @@ class Engine:
         """Decide ``µ ∈ ⟦P⟧G``.
 
         ``width`` overrides the engine's width bound for the pebble method.
+        ``method="auto"`` resolves through the cost model for *graph* (the
+        resolved plan is memoized, so tight loops over one graph pay the
+        planning cost once).
         """
-        plan = self._planner.plan(method, width)
+        plan = self._planner.plan(method, width, graph=graph)
         context = self._context.with_statistics(statistics)
         return plan.strategy_obj.contains(self._pattern, self._forest, graph, mu, plan, context)
 
@@ -212,15 +248,17 @@ class Engine:
     def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
         """Enumerate the full answer set ``⟦P⟧G``.
 
-        ``method="auto"`` resolves to the natural strategy (the pebble
-        relaxation decides membership only and is rejected).
+        ``method="auto"`` cost-picks between the naive and natural strategies
+        for this graph (the pebble relaxation decides membership only and is
+        rejected).
         """
         return set(self.solutions_stream(graph, method))
 
     def solutions_stream(self, graph: RDFGraph, method: str = "natural") -> Iterator[Mapping]:
         """Stream ``⟦P⟧G`` as a deduplicated generator (same methods as
-        :meth:`solutions`)."""
-        plan = self._planner.plan_enumeration(method)
+        :meth:`solutions`; ``method="auto"`` cost-picks naive vs natural for
+        this graph)."""
+        plan = self._planner.plan_enumeration(method, graph=graph)
         return plan.strategy_obj.solutions_stream(
             self._pattern, self._forest, graph, self._context
         )

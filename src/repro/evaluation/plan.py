@@ -33,8 +33,39 @@ The resolution rules (unchanged semantics, now in one place):
   otherwise falls back to the exact natural algorithm rather than pay for a
   width computation.
 
+Since PR 4 the planner is **cost-based**: when the caller supplies the data
+graph, ``auto`` resolution consults a :class:`CostModel` that estimates the
+naive / natural / pebble cost of the concrete ``(pattern, graph)`` cell from
+cheap statistics (graph size, ``sorted_domain()`` cardinality, the pattern's
+node/OPT-children counts and fresh-variable branching, the free width bound)
+and picks the cheapest admissible strategy *per cell* instead of a fixed
+preference.  The estimate rides on the resolved :class:`Plan` and is rendered
+by :meth:`Plan.explain` (CLI ``explain --cost``).  Without a graph the
+resolution rules are exactly the historical (PR 3) ones:
+
+* ``naive`` / ``natural`` run as requested, no width involved;
+* ``pebble`` uses the per-call ``width``, else the engine's ``width_bound``,
+  else the previously computed domination width, else it *computes* the
+  domination width (exact but potentially expensive);
+* ``auto`` prefers pebble **iff a bound is available for free** (an explicit
+  width, a constructor bound, or an already-computed domination width) and
+  otherwise falls back to the exact natural algorithm rather than pay for a
+  width computation.
+
+Ties in the cost estimates break toward the historical preference, so the
+cost-based planner degenerates to PR 3 behaviour when the estimates cannot
+tell the strategies apart.  The cost model never proposes a strategy whose
+precondition fails: pebble needs a free width bound, and only the naive and
+natural strategies can enumerate.
+
 For enumeration (:meth:`Planner.plan_enumeration`) ``auto`` resolves to
-``natural`` — the pebble relaxation decides membership only.
+``natural`` by default and cost-picks between ``naive`` and ``natural`` when
+the graph is known — the pebble relaxation decides membership only.
+
+Resolved plans are memoized per ``(method, width, known domination width)``
+— plus the graph's size statistics for graph-aware plans — so the unbatched
+:meth:`Engine.contains <repro.evaluation.engine.Engine.contains>` hot loop
+stops re-allocating plan dataclasses and rationale strings on every call.
 """
 
 from __future__ import annotations
@@ -57,6 +88,9 @@ __all__ = [
     "Strategy",
     "Plan",
     "Planner",
+    "PatternStats",
+    "CostEstimate",
+    "CostModel",
     "register_strategy",
     "strategy_for",
     "method_names",
@@ -233,6 +267,232 @@ NATURAL = register_strategy(NaturalStrategy())
 PEBBLE = register_strategy(PebbleStrategy())
 
 
+# --- the cost model --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PatternStats:
+    """Cheap, graph-independent statistics of one wdPF (one tree walk).
+
+    These are the pattern-side inputs of the :class:`CostModel`; an
+    :class:`~repro.evaluation.engine.Engine` computes them once per pattern
+    and hands them to its planner.
+
+    Attributes
+    ----------
+    trees / nodes / opt_children:
+        Forest shape: member trees, total wdPT nodes, and non-root nodes
+        (each non-root node is one OPT child somewhere, i.e. one NP-hard
+        child test of the natural algorithm).
+    triples:
+        Total triple patterns across all nodes.
+    variables:
+        ``|vars(P)|`` over the whole forest.
+    max_new_vars:
+        The largest number of variables any single node introduces over its
+        ancestors — the branching factor of one indexed homomorphism search.
+    max_branch_vars:
+        The largest variable count accumulated along one root-to-leaf
+        branch — what a bottom-up (naive) materialisation has to hold.
+    subtree_bound:
+        Upper bound on the number of subtrees containing a root (capped) —
+        the iteration space of natural *enumeration*.
+    """
+
+    trees: int
+    nodes: int
+    opt_children: int
+    triples: int
+    variables: int
+    max_new_vars: int
+    max_branch_vars: int
+    subtree_bound: float
+
+    #: Cap for the subtree-count product (keeps the walk overflow-free).
+    _SUBTREE_CAP = 1e12
+
+    @classmethod
+    def of(cls, forest: WDPatternForest) -> "PatternStats":
+        """Compute the statistics of *forest* in one walk per tree."""
+        trees = nodes = opt_children = triples = 0
+        variables: set = set()
+        max_new_vars = 0
+        max_branch_vars = 0
+        subtree_bound = 0.0
+        for tree in forest:
+            trees += 1
+            order: List[int] = []
+            stack = [tree.root]
+            while stack:  # parents always precede their children
+                node = stack.pop()
+                order.append(node)
+                stack.extend(tree.children_of(node))
+            branch_vars: Dict[int, frozenset] = {}
+            for node in order:
+                nodes += 1
+                triples += len(tree.pat(node).triples())
+                node_vars = tree.vars(node)
+                variables |= node_vars
+                parent = tree.parent_of(node)
+                inherited = branch_vars[parent] if parent is not None else frozenset()
+                if parent is not None:
+                    opt_children += 1
+                max_new_vars = max(max_new_vars, len(node_vars - inherited))
+                branch_vars[node] = inherited | node_vars
+                max_branch_vars = max(max_branch_vars, len(branch_vars[node]))
+            # Rooted-subtree count: g(n) = prod over children c of (1 + g(c)).
+            counts: Dict[int, float] = {}
+            for node in reversed(order):  # children before parents
+                product = 1.0
+                for child in tree.children_of(node):
+                    product = min(cls._SUBTREE_CAP, product * (1.0 + counts[child]))
+                counts[node] = product
+            subtree_bound = min(cls._SUBTREE_CAP, subtree_bound + counts[tree.root])
+        return cls(
+            trees=trees,
+            nodes=nodes,
+            opt_children=opt_children,
+            triples=triples,
+            variables=len(variables),
+            max_new_vars=max_new_vars,
+            max_branch_vars=max_branch_vars,
+            subtree_bound=subtree_bound,
+        )
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Per-strategy cost estimates for one ``(pattern, graph)`` cell.
+
+    The numbers are *ordinal* operation counts, not wall-clock predictions:
+    they only need to rank the strategies.  ``costs`` lists the admissible
+    strategies in the planner's tie-break preference order (most preferred
+    first); :meth:`cheapest` is the strategy the planner picks.
+    """
+
+    task: str  # "membership" | "enumeration"
+    costs: Tuple[Tuple[str, float], ...]
+    graph_triples: int
+    graph_domain: int
+    pattern_nodes: int
+    opt_children: int
+
+    def cost_of(self, name: str) -> Optional[float]:
+        """The estimated cost of strategy *name* (``None`` if inadmissible)."""
+        for strategy, cost in self.costs:
+            if strategy == name:
+                return cost
+        return None
+
+    def cheapest(self) -> str:
+        """The cheapest admissible strategy; ties break toward the first
+        (most preferred) entry, i.e. the historical PR 3 choice."""
+        best_name, best_cost = self.costs[0]
+        for name, cost in self.costs[1:]:
+            if cost < best_cost:
+                best_name, best_cost = name, cost
+        return best_name
+
+    def render(self) -> str:
+        """The estimates as a compact one-liner, e.g.
+        ``natural ~1.3e+03 · naive ~2.0e+05``."""
+        return " · ".join(f"{name} ~{cost:.1e}" for name, cost in self.costs)
+
+    def render_inputs(self) -> str:
+        """The cell statistics the estimates were computed from."""
+        return (
+            f"|G| = {self.graph_triples} triples, |dom(G)| = {self.graph_domain}, "
+            f"{self.pattern_nodes} node(s), {self.opt_children} OPT child(ren)"
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Estimate naive / natural / pebble cost per ``(pattern, graph)`` cell.
+
+    The formulas are deliberately crude — they model the dominant term of
+    each algorithm from statistics that cost one tree walk and one memoized
+    ``sorted_domain()`` call (see ``docs/planner.md`` for the derivation):
+
+    * one indexed homomorphism search branches over the fresh variables of a
+      node: ``search = |G| ** max_new_vars``;
+    * **naive** materialises ``⟦P⟧G`` bottom-up: one search per node plus
+      intermediate answer sets of up to ``|G| ** max_branch_vars`` rows;
+    * **natural membership** finds the witness subtree (linear in the
+      pattern) and runs one search per OPT child;
+    * **natural enumeration** repeats that search for *every* subtree —
+      ``subtree_bound`` many, exponential in the OPT-children fan-out;
+    * **pebble membership** replaces each child search with the polynomial
+      ``(k+1)``-pebble game over ``|dom(G)| ** (k+1)`` positions.
+
+    Exponents are capped (``exponent_cap``) and every estimate is clamped to
+    ``ceiling`` so the ranking stays overflow-free.
+    """
+
+    exponent_cap: int = 8
+    ceiling: float = 1e30
+
+    def _power(self, base: float, exponent: int) -> float:
+        return min(self.ceiling, base ** min(exponent, self.exponent_cap))
+
+    def estimate(
+        self,
+        pattern: PatternStats,
+        graph_triples: int,
+        graph_domain: int,
+        width: Optional[int],
+        task: str = "membership",
+    ) -> CostEstimate:
+        """The per-strategy estimates for one cell.
+
+        *width* is the **free** width bound (``None`` when none is available
+        — the pebble strategy is then inadmissible and gets no estimate, so
+        the planner can never pick a strategy whose precondition fails).
+        For ``task="enumeration"`` pebble is always inadmissible.
+        """
+        if task not in ("membership", "enumeration"):
+            raise EvaluationError(f"unknown cost task {task!r}")
+        n = float(max(2, graph_triples))
+        d = float(max(2, graph_domain))
+        pattern_work = pattern.nodes * max(1, pattern.triples)
+        search = self._power(n, pattern.max_new_vars)
+        materialise = min(
+            self.ceiling,
+            pattern.nodes * search + self._power(n, pattern.max_branch_vars),
+        )
+        costs: List[Tuple[str, float]] = []
+        if task == "membership":
+            if width is not None:
+                pebble = min(
+                    self.ceiling,
+                    pattern_work
+                    + pattern.opt_children
+                    * max(1, pattern.triples)
+                    * self._power(d, width + 1),
+                )
+                costs.append((PEBBLE.name, pebble))
+            natural = min(
+                self.ceiling, pattern_work + pattern.opt_children * search
+            )
+            costs.append((NATURAL.name, natural))
+            costs.append((NAIVE.name, materialise))
+        else:
+            natural = min(
+                self.ceiling,
+                pattern.subtree_bound * (search + 1.0 + pattern.opt_children),
+            )
+            costs.append((NATURAL.name, natural))
+            costs.append((NAIVE.name, materialise))
+        return CostEstimate(
+            task=task,
+            costs=tuple(costs),
+            graph_triples=graph_triples,
+            graph_domain=graph_domain,
+            pattern_nodes=pattern.nodes,
+            opt_children=pattern.opt_children,
+        )
+
+
 # --- plans -----------------------------------------------------------------------
 
 
@@ -255,6 +515,10 @@ class Plan:
         user-supplied bounds, which are trusted but not verified.
     rationale:
         One human-readable sentence recording *why* this strategy was chosen.
+    cost:
+        The :class:`CostEstimate` the decision was based on, when the planner
+        knew the graph (``None`` for graph-free plans).  Rendered by
+        :meth:`explain` and the CLI's ``explain --cost``.
     """
 
     requested: str
@@ -262,6 +526,7 @@ class Plan:
     width: Optional[int]
     certified: bool
     rationale: str
+    cost: Optional[CostEstimate] = None
 
     @property
     def strategy_obj(self) -> Strategy:
@@ -292,11 +557,19 @@ class Plan:
             lines.append(f"pebble game      : existential {self.width + 1}-pebble game")
         else:
             lines.append("width bound      : n/a (width-free strategy)")
+        if self.cost is not None:
+            lines.append(f"cost estimate    : {self.cost.render()} ({self.cost.task})")
+            lines.append(f"cost inputs      : {self.cost.render_inputs()}")
         lines.append(f"rationale        : {self.rationale}")
         return "\n".join(lines)
 
 
 # --- the planner -----------------------------------------------------------------
+
+
+#: Resolved-plan memo size guard; the memo is simply cleared when it fills
+#: (keys cycle over a handful of methods × widths × graph sizes in practice).
+_PLAN_MEMO_LIMIT = 256
 
 
 class Planner:
@@ -315,6 +588,20 @@ class Planner:
         Zero-argument callable that *computes* the domination width on
         demand; only invoked when ``method="pebble"`` is requested without
         any bound.  ``None`` makes that case an error.
+    pattern_stats:
+        Zero-argument callable returning the pattern's :class:`PatternStats`
+        (engines memoize this per pattern).  Without it the planner cannot
+        estimate costs and graph-aware calls fall back to the graph-free
+        rules.
+    cost_model:
+        The :class:`CostModel` ranking strategies per ``(pattern, graph)``
+        cell; a default model is used when omitted.
+
+    Resolved plans are memoized per ``(method, width, known domination
+    width)`` — plus ``(|G|, |dom(G)|)`` for graph-aware plans — so hot loops
+    like unbatched :meth:`Engine.contains
+    <repro.evaluation.engine.Engine.contains>` re-use one frozen
+    :class:`Plan` instead of re-allocating it per call.
     """
 
     def __init__(
@@ -322,12 +609,41 @@ class Planner:
         width_bound: Optional[int] = None,
         known_width: Optional[Callable[[], Optional[int]]] = None,
         width_oracle: Optional[Callable[[], int]] = None,
+        pattern_stats: Optional[Callable[[], PatternStats]] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if width_bound is not None and width_bound < 1:
             raise EvaluationError("width_bound must be at least 1")
         self._width_bound = width_bound
         self._known_width = known_width if known_width is not None else lambda: None
         self._width_oracle = width_oracle
+        self._pattern_stats = pattern_stats
+        self._cost_model = cost_model if cost_model is not None else CostModel()
+        self._memo: Dict[Tuple, Plan] = {}
+
+    # --- plan memoization ------------------------------------------------------
+    def _memoized(self, key: Tuple, resolve: Callable[[], Plan]) -> Plan:
+        plan = self._memo.get(key)
+        if plan is None:
+            plan = resolve()
+            if len(self._memo) >= _PLAN_MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = plan
+        return plan
+
+    def _cell_estimate(
+        self, graph: Optional[RDFGraph], width: Optional[int], task: str
+    ) -> Optional[CostEstimate]:
+        """The cost estimate for this cell, or ``None`` without graph/stats."""
+        if graph is None or self._pattern_stats is None:
+            return None
+        return self._cost_model.estimate(
+            self._pattern_stats(),
+            len(graph),
+            len(graph.sorted_domain()),
+            width,
+            task=task,
+        )
 
     # --- bound resolution ------------------------------------------------------
     def _free_bound(self, width: Optional[int]) -> Tuple[Optional[int], bool, str]:
@@ -350,14 +666,34 @@ class Planner:
         return None, False, "no width bound is available for free"
 
     # --- membership planning -----------------------------------------------------
-    def plan(self, method: str = "auto", width: Optional[int] = None) -> Plan:
+    def plan(
+        self,
+        method: str = "auto",
+        width: Optional[int] = None,
+        graph: Optional[RDFGraph] = None,
+    ) -> Plan:
         """Resolve ``(method, width)`` into an executable :class:`Plan`.
 
         This is exactly the decision :meth:`Engine.contains` executes and
         :meth:`Engine.resolve_method` reports — there is no other copy of it.
+        With a *graph* (and pattern statistics) the plan carries a
+        :class:`CostEstimate` and ``auto`` picks the cheapest admissible
+        strategy for this specific cell; without one the historical
+        graph-free rules apply.  Plans are memoized (see the class docs).
         """
+        known = self._known_width()
+        cost_aware = graph is not None and self._pattern_stats is not None
+        if cost_aware:
+            key = (method, width, known, len(graph), len(graph.sorted_domain()))
+        else:
+            key = (method, width, known)
+        return self._memoized(key, lambda: self._plan_fresh(method, width, graph))
+
+    def _plan_fresh(
+        self, method: str, width: Optional[int], graph: Optional[RDFGraph]
+    ) -> Plan:
         if method == "auto":
-            return self._plan_auto(width)
+            return self._plan_auto(width, graph)
         strategy = strategy_for(method)
         if not strategy.uses_width:
             return Plan(
@@ -366,6 +702,7 @@ class Planner:
                 width=None,
                 certified=False,
                 rationale=f"the {strategy.name} strategy was requested explicitly",
+                cost=self._cell_estimate(graph, self._free_bound(width)[0], "membership"),
             )
         bound, certified, source = self._free_bound(width)
         if bound is None:
@@ -387,10 +724,43 @@ class Planner:
             width=bound,
             certified=certified,
             rationale=f"the pebble strategy was requested explicitly; {source}; {exactness}",
+            cost=self._cell_estimate(graph, bound, "membership"),
         )
 
-    def _plan_auto(self, width: Optional[int]) -> Plan:
+    def _plan_auto(self, width: Optional[int], graph: Optional[RDFGraph]) -> Plan:
         bound, certified, source = self._free_bound(width)
+        estimate = self._cell_estimate(graph, bound, "membership")
+        if estimate is not None:
+            chosen = estimate.cheapest()
+            if chosen != PEBBLE.name:
+                # The cost model out-voted (or never admitted) the pebble
+                # strategy; both alternatives are exact, so this is safe.
+                return Plan(
+                    requested="auto",
+                    strategy=chosen,
+                    width=None,
+                    certified=False,
+                    rationale=f"the cost model compared {estimate.render()} for this "
+                    f"graph and the {chosen} strategy is the cheapest admissible "
+                    "choice (it is exact for every input)",
+                    cost=estimate,
+                )
+            exactness = (
+                "the algorithm is exact (Theorem 1)"
+                if certified
+                else f"it is exact if the bound holds (dw(P) <= {bound}), "
+                "and sound for every input"
+            )
+            return Plan(
+                requested="auto",
+                strategy=PEBBLE.name,
+                width=bound,
+                certified=certified,
+                rationale=f"the cost model compared {estimate.render()} for this "
+                f"graph and the pebble relaxation with k = {bound} is the cheapest "
+                f"({source}); {exactness}",
+                cost=estimate,
+            )
         if bound is not None:
             exactness = (
                 "the algorithm is exact (Theorem 1)"
@@ -417,13 +787,41 @@ class Planner:
         )
 
     # --- enumeration planning -------------------------------------------------------
-    def plan_enumeration(self, method: str = "auto") -> Plan:
+    def plan_enumeration(
+        self, method: str = "auto", graph: Optional[RDFGraph] = None
+    ) -> Plan:
         """Resolve a ``method=`` for full answer-set enumeration.
 
-        ``auto`` resolves to the natural strategy: it enumerates exactly for
-        every pattern, while the pebble relaxation only decides membership.
+        ``auto`` resolves to the natural strategy by default; with a *graph*
+        (and pattern statistics) the cost model picks between the naive and
+        natural strategies per cell — naive wins when the subtree iteration
+        space of natural enumeration dwarfs a bottom-up materialisation.
+        The pebble relaxation decides membership only and is never eligible.
         """
+        known = self._known_width()
+        cost_aware = graph is not None and self._pattern_stats is not None
+        if cost_aware:
+            key = ("enum", method, known, len(graph), len(graph.sorted_domain()))
+        else:
+            key = ("enum", method, known)
+        return self._memoized(key, lambda: self._plan_enumeration_fresh(method, graph))
+
+    def _plan_enumeration_fresh(self, method: str, graph: Optional[RDFGraph]) -> Plan:
+        estimate = self._cell_estimate(graph, None, "enumeration")
         if method == "auto":
+            if estimate is not None:
+                chosen = estimate.cheapest()
+                return Plan(
+                    requested="auto",
+                    strategy=chosen,
+                    width=None,
+                    certified=False,
+                    rationale=f"the cost model compared {estimate.render()} for "
+                    f"enumeration over this graph and chose the {chosen} strategy "
+                    "(both candidates enumerate ⟦P⟧G exactly; the pebble "
+                    "relaxation decides membership only and is not eligible)",
+                    cost=estimate,
+                )
             return Plan(
                 requested="auto",
                 strategy=NATURAL.name,
@@ -448,4 +846,5 @@ class Planner:
             width=None,
             certified=False,
             rationale=f"the {strategy.name} strategy was requested explicitly for enumeration",
+            cost=estimate,
         )

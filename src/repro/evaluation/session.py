@@ -17,7 +17,14 @@ candidate mappings, many patterns, many graphs — behind one shared cache.
 * :meth:`solutions_stream` enumerates lazily (a deduplicated generator);
   :meth:`solutions_many` batches enumeration over many patterns × many
   graphs — duplicate cells are evaluated once and fanned back out, and an
-  opt-in pool enumerates distinct cells in parallel.
+  opt-in pool enumerates distinct cells in parallel;
+* :meth:`solutions_iter` streams those batched results **incrementally** —
+  ``(cell, solution)`` pairs as cells complete, in submission or completion
+  order — instead of blocking until the whole batch is done;
+* parallel enumeration uses the same warm-fork path as membership: on the
+  ``fork`` start method the parent warms the µ-independent cache state and
+  workers inherit the live session (indexes, homomorphism lists, memoized
+  child tests) instead of rebuilding caches from scratch.
 
 :class:`~repro.evaluation.batch.BatchEngine` is a single-pattern adapter
 over this class.
@@ -96,28 +103,66 @@ def _worker_contains(mu: Mapping) -> bool:
     )
 
 
-def _enumerate_chunk(
-    task: Tuple[List[RDFGraph], List[Tuple[WDPatternForest, int]], str]
-) -> List[Set[Mapping]]:
-    """Enumerate a chunk of (pattern, graph) cells in a worker process.
+# Enumeration workers are initialised once per pool with every forest and
+# graph the batch touches (pickled once per worker under non-fork start
+# methods) and then receive cells as plain index pairs.  With the ``fork``
+# start method the parent warms its cache first and hands its **live
+# session** to the initializer — fork does not pickle initargs, so every
+# worker starts with the parent's target indexes, memoized homomorphism
+# lists and child-test verdicts already in (copy-on-write shared) memory
+# instead of rebuilding them from scratch.
 
-    The task ships each graph the chunk touches once (not once per cell)
-    and the worker enumerates all its cells through one local session, so
-    per-graph state (target index, memoized child tests) is shared across
-    the chunk.  Only forests cross the process boundary (the picklable
-    normal form); the naive strategy evaluates the pattern rebuilt from the
-    forest, which has the same solutions by the normal-form semantics.
+_ENUM_STATE: Dict[str, object] = {}
+
+
+def _init_enum_worker(
+    forests: List[WDPatternForest],
+    graphs: List[RDFGraph],
+    method: str,
+    warm_session: Optional["Session"] = None,
+) -> None:
+    if warm_session is not None:
+        # Fork path: the parent's session (engines + warmed cache) arrives
+        # by address, not by pickle; reuse it directly.
+        session = warm_session
+    else:
+        session = Session()
+    _ENUM_STATE["session"] = session
+    _ENUM_STATE["forests"] = forests
+    _ENUM_STATE["graphs"] = graphs
+    _ENUM_STATE["method"] = method
+
+
+def _enum_worker_cell(task: Tuple[int, int, int]) -> Tuple[int, Set[Mapping]]:
+    """Enumerate one distinct (pattern, graph) cell in a worker process.
+
+    Only forests cross the process boundary (the picklable normal form); the
+    naive strategy evaluates the pattern rebuilt from the forest, which has
+    the same solutions by the normal-form semantics.
     """
-    graphs, cells, method = task
-    session = Session()
-    return [
-        session.solutions(forest, graphs[graph_index], method=method)
-        for forest, graph_index in cells
-    ]
+    position, forest_index, graph_index = task
+    session: "Session" = _ENUM_STATE["session"]  # type: ignore[assignment]
+    answers = session.solutions(
+        _ENUM_STATE["forests"][forest_index],  # type: ignore[index]
+        _ENUM_STATE["graphs"][graph_index],  # type: ignore[index]
+        method=_ENUM_STATE["method"],  # type: ignore[arg-type]
+    )
+    return position, answers
 
 
 class Session:
     """Evaluate many patterns against many graphs through one shared cache.
+
+    The service-layer front door: engines are memoized per pattern
+    (structurally for :class:`~repro.sparql.algebra.GraphPattern` inputs),
+    every ``method=`` resolves through the pattern's cost-based
+    :class:`~repro.evaluation.plan.Planner` (:meth:`plan` / :meth:`explain`
+    expose the decision per graph), :meth:`check_many` batches membership,
+    :meth:`solutions_many` batches enumeration, and :meth:`solutions_iter`
+    streams batched enumeration results as cells complete.  Parallel entry
+    points warm the µ-independent cache state before forking so workers
+    inherit hot indexes, kernels, homomorphism lists and recorded answer
+    lists.  Every cache/pool/warm feature is answer-preserving.
 
     Parameters
     ----------
@@ -245,16 +290,30 @@ class Session:
 
     # --- planning ----------------------------------------------------------
     def plan(
-        self, pattern: PatternLike, method: str = "auto", width: Optional[int] = None
+        self,
+        pattern: PatternLike,
+        method: str = "auto",
+        width: Optional[int] = None,
+        graph: Optional[RDFGraph] = None,
     ) -> Plan:
-        """The plan :meth:`check` would execute for this pattern/method."""
-        return self.engine(pattern).plan(method, width)
+        """The plan :meth:`check` would execute for this pattern/method.
+
+        With a *graph* the plan is resolved per ``(pattern, graph)`` cell
+        through the cost model and carries the
+        :class:`~repro.evaluation.plan.CostEstimate` — exactly what
+        :meth:`check` / :meth:`check_many` run against that graph.
+        """
+        return self.engine(pattern).plan(method, width, graph=graph)
 
     def explain(
-        self, pattern: PatternLike, method: str = "auto", width: Optional[int] = None
+        self,
+        pattern: PatternLike,
+        method: str = "auto",
+        width: Optional[int] = None,
+        graph: Optional[RDFGraph] = None,
     ) -> str:
         """Human-readable account of the strategy choice (see :meth:`plan`)."""
-        return self.plan(pattern, method, width).explain()
+        return self.plan(pattern, method, width, graph=graph).explain()
 
     # --- membership --------------------------------------------------------
     def check(
@@ -296,7 +355,7 @@ class Session:
         mappings = list(mappings)
         if not mappings:
             return []
-        plan = engine.plan(method, width)
+        plan = engine.plan(method, width, graph=graph)
         strategy = plan.strategy_obj
         unique: List[Mapping] = []
         seen: Set[Mapping] = set()
@@ -379,7 +438,7 @@ class Session:
         before forking a worker pool.
         """
         engine = self.engine(pattern)
-        plan = engine.plan(method, width)
+        plan = engine.plan(method, width, graph=graph)
         return plan.strategy_obj.warm(engine.forest, graph, plan, self._cache, mappings)
 
     # --- enumeration -------------------------------------------------------
@@ -399,6 +458,83 @@ class Session:
         """Enumerate the full answer set ``⟦P⟧G`` through the session cache."""
         return set(self.solutions_stream(pattern, graph, method))
 
+    def _distinct_cells(
+        self, engines: Sequence[Engine], graph_list: Sequence[RDFGraph]
+    ) -> List[Tuple[Engine, RDFGraph, Tuple[int, int]]]:
+        """The distinct ``(engine, graph)`` cells in first-occurrence order."""
+        seen: Set[Tuple[int, int]] = set()
+        order: List[Tuple[Engine, RDFGraph, Tuple[int, int]]] = []
+        for engine in engines:
+            for graph in graph_list:
+                key = (id(engine), id(graph))
+                if key not in seen:
+                    seen.add(key)
+                    order.append((engine, graph, key))
+        return order
+
+    def _enumerate_distinct(
+        self,
+        order: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]],
+        method: str,
+        processes: Optional[int],
+        in_order: bool = False,
+    ) -> Iterator[Tuple[Tuple[int, int], Set[Mapping]]]:
+        """Enumerate every distinct cell, yielding ``(key, answers)`` pairs.
+
+        Serial (``processes`` unset or 1) cells are evaluated lazily in
+        submission order through the session cache.  With a pool, distinct
+        cells fan out to enumeration workers; results are yielded **as they
+        complete** (``in_order=False``) or in submission order.  On the
+        ``fork`` start method the parent first warms the µ-independent state
+        of every cell (respecting ``warm_on_fork``) and workers inherit the
+        live session, so they replay memoized searches instead of rebuilding
+        caches from scratch.
+        """
+        processes = processes if processes is not None else self._context.processes
+        if processes is None or processes <= 1 or len(order) <= 1:
+            for engine, graph, key in order:
+                yield key, self.solutions(engine, graph, method=method)
+            return
+        # Validate the method once in the parent (rejects e.g. "pebble"
+        # before any worker is spawned); workers re-resolve per cell so the
+        # cost model can still pick naive vs natural per (pattern, graph).
+        Planner().plan_enumeration(method)
+        workers = min(processes, len(order))
+        forests: List[WDPatternForest] = []
+        forest_index: Dict[int, int] = {}
+        graphs: List[RDFGraph] = []
+        graph_index: Dict[int, int] = {}
+        tasks: List[Tuple[int, int, int]] = []
+        for position, (engine, graph, _key) in enumerate(order):
+            fi = forest_index.get(id(engine.forest))
+            if fi is None:
+                fi = forest_index[id(engine.forest)] = len(forests)
+                forests.append(engine.forest)
+            gi = graph_index.get(id(graph))
+            if gi is None:
+                gi = graph_index[id(graph)] = len(graphs)
+                graphs.append(graph)
+            tasks.append((position, fi, gi))
+        ctx = multiprocessing.get_context()
+        warm_session: Optional["Session"] = None
+        if ctx.get_start_method() == "fork" and self._context.warm_on_fork:
+            # Warm the µ-independent state (target indexes, graph domains)
+            # in the parent; forked workers inherit it — together with every
+            # homomorphism list and child test this session has already
+            # memoized — as copy-on-write shared memory.
+            for engine, graph, _key in order:
+                plan = engine.planner.plan_enumeration(method, graph=graph)
+                plan.strategy_obj.warm(engine.forest, graph, plan, self._cache)
+            warm_session = self
+        with ctx.Pool(
+            workers,
+            initializer=_init_enum_worker,
+            initargs=(forests, graphs, method, warm_session),
+        ) as pool:
+            mapper = pool.imap if in_order else pool.imap_unordered
+            for position, answers in mapper(_enum_worker_cell, tasks):
+                yield order[position][2], answers
+
     def solutions_many(
         self,
         patterns: Sequence[PatternLike],
@@ -415,47 +551,19 @@ class Session:
         :class:`~repro.sparql.algebra.GraphPattern` inputs) or repeated
         graphs — are enumerated **once** and fanned back out, all cells
         share the session cache, and *processes* (or the session default)
-        enumerates distinct cells in parallel.  Answer sets are guaranteed
-        identical to per-pattern :meth:`Engine.solutions` calls.
+        enumerates distinct cells in parallel (with warm worker forks, see
+        :meth:`solutions_iter`).  Answer sets are guaranteed identical to
+        per-pattern :meth:`Engine.solutions
+        <repro.evaluation.engine.Engine.solutions>` calls.  For results as
+        they complete, use :meth:`solutions_iter`.
         """
         single = isinstance(graphs, RDFGraph)
         graph_list: List[RDFGraph] = [graphs] if single else list(graphs)
         engines = [self.engine(pattern) for pattern in patterns]
-
-        distinct: Dict[Tuple[int, int], Optional[Set[Mapping]]] = {}
-        order: List[Tuple[Engine, RDFGraph, Tuple[int, int]]] = []
-        for engine in engines:
-            for graph in graph_list:
-                key = (id(engine), id(graph))
-                if key not in distinct:
-                    distinct[key] = None
-                    order.append((engine, graph, key))
-
-        processes = processes if processes is not None else self._context.processes
-        if processes is not None and processes > 1 and len(order) > 1:
-            # Enumeration planning is pattern-independent, so resolve once.
-            strategy = Planner().plan_enumeration(method).strategy
-            workers = min(processes, len(order))
-            chunks = [order[i::workers] for i in range(workers)]
-            tasks = []
-            for chunk in chunks:
-                local_index: Dict[int, int] = {}
-                chunk_graphs: List[RDFGraph] = []
-                cells: List[Tuple[WDPatternForest, int]] = []
-                for engine, graph, _key in chunk:
-                    if id(graph) not in local_index:
-                        local_index[id(graph)] = len(chunk_graphs)
-                        chunk_graphs.append(graph)
-                    cells.append((engine.forest, local_index[id(graph)]))
-                tasks.append((chunk_graphs, cells, strategy))
-            ctx = multiprocessing.get_context()
-            with ctx.Pool(workers) as pool:
-                for chunk, answers in zip(chunks, pool.map(_enumerate_chunk, tasks)):
-                    for (_, _, key), cell_answers in zip(chunk, answers):
-                        distinct[key] = cell_answers
-        else:
-            for engine, graph, key in order:
-                distinct[key] = self.solutions(engine, graph, method=method)
+        order = self._distinct_cells(engines, graph_list)
+        distinct: Dict[Tuple[int, int], Set[Mapping]] = dict(
+            self._enumerate_distinct(order, method, processes)
+        )
 
         # Duplicate cells fan out as *independent copies*, exactly like the
         # equivalent loop of per-pattern Engine.solutions calls; a cell used
@@ -476,3 +584,93 @@ class Session:
         if single:
             return [row[0] for row in matrix]
         return matrix
+
+    def solutions_iter(
+        self,
+        patterns: Sequence[PatternLike],
+        graphs: Union[RDFGraph, Sequence[RDFGraph]],
+        method: str = "auto",
+        order: str = "submitted",
+        processes: Optional[int] = None,
+    ) -> Iterator[Tuple[Tuple[int, int], Mapping]]:
+        """Stream batched enumeration results as cells complete.
+
+        Yields ``((pattern_index, graph_index), mapping)`` pairs covering
+        exactly the same answer sets as :meth:`solutions_many` over the same
+        inputs, but incrementally — consumers see the first solutions while
+        later cells are still being evaluated, instead of waiting for the
+        whole batch.  *graphs* may be a single graph (all cells then have
+        ``graph_index == 0``) or a sequence.
+
+        ``order="submitted"`` (the default) yields cells in input order —
+        row by row, every solution of a cell before the next cell.  Serially
+        each **first occurrence** of a cell streams truly lazily from
+        :meth:`solutions_stream`; with a pool, whole cells arrive from the
+        enumeration workers as units.  ``order="completed"`` relaxes cell
+        ordering to completion order, which keeps the consumer busy while
+        slow cells are still running in the pool (within one cell, all of
+        its duplicate positions are emitted together, in submission order).
+        Parallel runs use the same warm-fork worker path as
+        :meth:`solutions_many`.
+        """
+        if order not in ("submitted", "completed"):
+            raise EvaluationError(
+                f"order must be 'submitted' or 'completed', got {order!r}"
+            )
+        single = isinstance(graphs, RDFGraph)
+        graph_list: List[RDFGraph] = [graphs] if single else list(graphs)
+        engines = [self.engine(pattern) for pattern in patterns]
+        cells: List[Tuple[Tuple[int, int], Tuple[int, int]]] = [
+            ((i, j), (id(engine), id(graph)))
+            for i, engine in enumerate(engines)
+            for j, graph in enumerate(graph_list)
+        ]
+        uses: Dict[Tuple[int, int], int] = {}
+        for _cell, key in cells:
+            uses[key] = uses.get(key, 0) + 1
+        distinct = self._distinct_cells(engines, graph_list)
+
+        processes = processes if processes is not None else self._context.processes
+        serial = processes is None or processes <= 1 or len(distinct) <= 1
+        if serial:
+            # True per-solution streaming: the first occurrence of each cell
+            # is consumed lazily; repeats replay the recorded answers.
+            by_key = {key: (engine, graph) for engine, graph, key in distinct}
+            done: Dict[Tuple[int, int], Set[Mapping]] = {}
+            for cell, key in cells:
+                if key in done:
+                    for mu in done[key]:
+                        yield cell, mu
+                    continue
+                engine, graph = by_key[key]
+                recorder: Optional[Set[Mapping]] = set() if uses[key] > 1 else None
+                for mu in self.solutions_stream(engine, graph, method=method):
+                    if recorder is not None:
+                        recorder.add(mu)
+                    yield cell, mu
+                if recorder is not None:
+                    done[key] = recorder
+            return
+
+        if order == "completed":
+            positions: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+            for cell, key in cells:
+                positions.setdefault(key, []).append(cell)
+            for key, answers in self._enumerate_distinct(
+                distinct, method, processes, in_order=False
+            ):
+                for cell in positions[key]:
+                    for mu in answers:
+                        yield cell, mu
+            return
+
+        # order == "submitted": consume the (submission-ordered) worker
+        # results exactly as far as the next cell to emit requires.
+        results = self._enumerate_distinct(distinct, method, processes, in_order=True)
+        done = {}
+        for cell, key in cells:
+            while key not in done:
+                finished_key, answers = next(results)
+                done[finished_key] = answers
+            for mu in done[key]:
+                yield cell, mu

@@ -175,12 +175,22 @@ def tree_solutions_stream(
 
     For every subtree ``T'`` and every homomorphism ``µ`` from ``pat(T')``
     into the graph, ``µ`` is a solution iff no child of ``T'`` admits a
-    compatible extension.  With a caching *context* the homomorphism search
-    runs over the shared target index and the child extension tests are
-    memoized — so enumerating many structurally overlapping patterns through
-    one :class:`~repro.evaluation.session.Session` shares work.
+    compatible extension.  With a caching *context* the homomorphism lists
+    and the child extension tests are memoized, and a run that completes
+    records the whole answer list per graph version — later enumerations of
+    the same tree (including warm-forked enumeration workers that inherit
+    the cache) replay it straight from memory.  Enumerating many
+    structurally overlapping patterns through one
+    :class:`~repro.evaluation.session.Session` therefore shares work at
+    every level: index, searches, child tests, and completed answer sets.
     """
     context = context if context is not None else _PLAIN_CONTEXT
+    replay = context.tree_solutions_list(tree, graph)
+    if replay is not None:
+        yield from replay
+        return
+    version = graph.version
+    recorded: Optional[list] = [] if context.cache is not None else None
     seen: Set[Mapping] = set()
     for subtree in tree.subtrees():
         child_pats = [tree.pat(child) for child in context.children_of(tree, subtree)]
@@ -190,7 +200,14 @@ def tree_solutions_stream(
                 continue
             if all(not context.extension_exists(pat, graph, mu) for pat in child_pats):
                 seen.add(mu)
+                if recorded is not None:
+                    recorded.append(mu)
                 yield mu
+    # Record only complete, mutation-free enumerations: an abandoned
+    # generator never reaches this line, and a mid-stream graph mutation
+    # would make the recorded list stale for the new version.
+    if recorded is not None and graph.version == version:
+        context.record_tree_solutions(tree, graph, recorded)
 
 
 def forest_solutions_stream(

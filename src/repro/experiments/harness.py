@@ -17,6 +17,7 @@ __all__ = [
     "ExperimentResult",
     "time_callable",
     "time_batched_membership",
+    "time_batched_enumeration",
     "EXPERIMENT_REGISTRY",
     "register_experiment",
     "run_experiment",
@@ -127,6 +128,52 @@ def time_batched_membership(
         session = Session(processes=processes)
         engine = session.engine(forest, width_bound=width_bound)
         return session.check_many(engine, graph, queries, method=method, width=width)
+
+    return time_callable(run, repeat)
+
+
+def time_batched_enumeration(
+    forests: Sequence,
+    graph,
+    method: str = "auto",
+    processes: Optional[int] = None,
+    warm: bool = False,
+    warm_on_fork: bool = True,
+    repeat: int = 1,
+) -> tuple[float, List]:
+    """Time a batched enumeration workload through an evaluation session.
+
+    Enumerates every forest in *forests* against *graph* in one
+    :meth:`~repro.evaluation.session.Session.solutions_many` call (best
+    wall-clock over *repeat* runs).  With ``warm=False`` a fresh session —
+    and hence a cold cache — is built inside the timed callable, measuring
+    the full batched evaluation.  With ``warm=True`` the session first
+    enumerates the workload once *outside* the timing (steady-state serving:
+    indexes, homomorphism lists and child tests are hot) and the timed runs
+    measure warm batched — or, with *processes*, warm-**forked** parallel —
+    enumeration.  *warm_on_fork* is forwarded to the session —
+    ``warm_on_fork=False`` with a pool is the **cold-worker baseline**
+    (every worker rebuilds its cache from scratch).  This is the pair of
+    paths ``benchmarks/bench_session_enumeration.py`` compares in its
+    warm-fork case.
+    """
+    from ..evaluation import Session
+
+    forests = list(forests)
+    if warm:
+        session = Session(processes=processes, warm_on_fork=warm_on_fork)
+        # The warm-up pass runs serially *in this process*: parallel cells
+        # are enumerated in worker processes, whose caches die with the
+        # pool, so only a parent-side pass leaves the session hot for the
+        # subsequent fork.
+        session.solutions_many(forests, graph, method=method, processes=1)
+        return time_callable(
+            lambda: session.solutions_many(forests, graph, method=method), repeat
+        )
+
+    def run() -> List:
+        session = Session(processes=processes, warm_on_fork=warm_on_fork)
+        return session.solutions_many(forests, graph, method=method)
 
     return time_callable(run, repeat)
 

@@ -131,6 +131,83 @@ class TestInvalidationOnMutation:
         assert engine.contains(graph, mu, method="natural") is False
 
 
+class TestEnumerationMemos:
+    def test_homomorphism_list_matches_direct_search(self):
+        cache = EvaluationCache()
+        graph = random_graph(6, 25, seed=3)
+        source = TGraph(list(fk_forest(2))[0].pat(list(fk_forest(2))[0].root))
+        cached = cache.homomorphism_list(source, graph)
+        direct = list(all_homomorphisms(source, graph))
+        assert sorted(map(repr, cached)) == sorted(map(repr, direct))
+        before = cache.statistics.enum_hits
+        assert cache.homomorphism_list(source, graph) == cached
+        assert cache.statistics.enum_hits == before + 1
+
+    def test_homomorphism_stream_lazy_records_only_on_completion(self):
+        """An abandoned stream must not record a (partial) answer list, and
+        a fresh stream stays lazy — only exhaustion creates the memo."""
+        cache = EvaluationCache()
+        graph = random_graph(6, 25, seed=3)
+        source = TGraph(list(fk_forest(2))[0].pat(list(fk_forest(2))[0].root))
+        abandoned = cache.homomorphisms_stream(source, graph)
+        next(abandoned)  # consume one result, drop the generator
+        del abandoned
+        full = list(cache.homomorphisms_stream(source, graph))  # still a miss
+        assert cache.statistics.enum_hits == 0
+        assert cache.statistics.enum_misses == 2
+        replayed = list(cache.homomorphisms_stream(source, graph))  # now a hit
+        assert cache.statistics.enum_hits == 1
+        assert replayed == full
+
+    def test_homomorphism_list_invalidated_by_mutation(self):
+        from repro.sparql import parse_pattern
+        from repro.patterns.build import wdpf
+
+        cache = EvaluationCache()
+        graph = RDFGraph(
+            [Triple.of("http://example.org/a", "http://example.org/p", "http://example.org/b")]
+        )
+        tree = list(wdpf(parse_pattern("(?x <http://example.org/p> ?y)")))[0]
+        source = tree.pat(tree.root)
+        first = cache.homomorphism_list(source, graph)
+        assert len(first) == 1
+        graph.add(Triple.of("http://example.org/c", "http://example.org/p", "http://example.org/d"))
+        second = cache.homomorphism_list(source, graph)
+        assert len(second) == 2
+
+    def test_homomorphism_stream_mutation_after_creation_never_poisons(self):
+        """A graph mutation between stream creation and consumption must not
+        record a stale list under the new version (regression)."""
+        from repro.sparql import parse_pattern
+        from repro.patterns.build import wdpf
+
+        cache = EvaluationCache()
+        graph = RDFGraph(
+            [Triple.of("http://example.org/a", "http://example.org/p", "http://example.org/b")]
+        )
+        tree = list(wdpf(parse_pattern("(?x <http://example.org/p> ?y)")))[0]
+        source = tree.pat(tree.root)
+        stream = cache.homomorphisms_stream(source, graph)
+        graph.add(Triple.of("http://example.org/c", "http://example.org/p", "http://example.org/d"))
+        list(stream)  # consumed after the mutation: must not be recorded
+        fresh = cache.homomorphism_list(source, graph)
+        assert len(fresh) == 2  # the post-mutation truth, not a stale replay
+
+    def test_tree_solution_list_roundtrip_and_eviction(self):
+        cache = EvaluationCache()
+        graph = random_graph(6, 25, seed=5)
+        forest = fk_forest(2)
+        tree = list(forest)[0]
+        assert cache.tree_solution_list(tree, graph) is None  # miss
+        engine = Engine(forest=forest, cache=cache)
+        answers = engine.solutions(graph, method="natural")
+        recorded = cache.tree_solution_list(tree, graph)
+        assert recorded is not None and set(recorded) <= answers
+        # Mutation invalidates transparently.
+        graph.add(Triple.of(str(EX["zzz"]), str(EX["zzz"]), str(EX["zzz"])))
+        assert cache.tree_solution_list(tree, graph) is None
+
+
 class TestCacheInternals:
     def test_statistics_counters(self):
         stats = CacheStatistics()

@@ -261,6 +261,76 @@ class TestExplainCommand:
         assert exit_code == 0
         assert "chosen strategy  : naive" in out
 
+    def test_cost_requires_graph(self, capsys):
+        exit_code = main(["explain", "--query", QUERY, "--cost"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "--graph" in err
+
+    def test_graph_requires_cost(self, graph_file, capsys):
+        exit_code = main(["explain", "--query", QUERY, "--graph", graph_file])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "--cost" in err
+
+    def test_cost_snapshot(self, graph_file, capsys):
+        """Snapshot of `explain --cost`: the full cost-annotated plan."""
+        exit_code = main(["explain", "--query", QUERY, "--graph", graph_file, "--cost"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out == (
+            "query            : ((?x http://example.org/knows ?y) OPT "
+            "(?y http://example.org/email ?e))\n"
+            "requested method : auto\n"
+            "chosen strategy  : natural — exact wdPF evaluation (Lemma 1) with "
+            "full homomorphism child tests\n"
+            "width bound      : n/a (width-free strategy)\n"
+            "cost estimate    : natural ~8.0e+00 · naive ~1.6e+01 (membership)\n"
+            "cost inputs      : |G| = 2 triples, |dom(G)| = 5, 2 node(s), 1 OPT child(ren)\n"
+            "rationale        : the cost model compared natural ~8.0e+00 · "
+            "naive ~1.6e+01 for this graph and the natural strategy is the "
+            "cheapest admissible choice (it is exact for every input)\n"
+        )
+
+    def test_cost_with_width_bound_admits_pebble(self, graph_file, capsys):
+        exit_code = main(
+            ["explain", "--query", QUERY, "--graph", graph_file, "--cost", "--width-bound", "1"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pebble ~" in out
+        assert "cost inputs      : |G| = 2 triples" in out
+
+
+class TestBatchStream:
+    @pytest.fixture
+    def bindings_file(self, tmp_path):
+        path = tmp_path / "stream-bindings.txt"
+        path.write_text(
+            "x=http://example.org/alice y=http://example.org/bob e=http://example.org/bob-mail\n"
+            "x=http://example.org/alice y=http://example.org/bob\n"
+            "-\n"
+        )
+        return str(path)
+
+    def test_stream_output_matches_batched(self, graph_file, bindings_file, capsys):
+        argv = ["batch", "--graph", graph_file, "--query", QUERY, "--bindings-file", bindings_file]
+        assert main(argv) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed == batched
+
+    def test_stream_rejects_processes(self, graph_file, bindings_file, capsys):
+        exit_code = main(
+            [
+                "batch", "--graph", graph_file, "--query", QUERY,
+                "--bindings-file", bindings_file, "--stream", "--processes", "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "--stream" in capsys.readouterr().err
+
 
 class TestClassifyAndValidate:
     def test_classify_reports_widths(self, capsys):

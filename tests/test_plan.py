@@ -1,9 +1,21 @@
-"""Unit tests for the planning layer (Strategy registry, Plan, Planner)."""
+"""Unit tests for the planning layer (Strategy registry, Plan, Planner,
+cost model, plan memoization)."""
 
 import pytest
 
-from repro.evaluation import Engine, Plan, Planner, method_names, strategy_for
+from repro.evaluation import (
+    CostModel,
+    Engine,
+    PatternStats,
+    Plan,
+    Planner,
+    method_names,
+    strategy_for,
+)
 from repro.exceptions import EvaluationError
+from repro.patterns.build import wdpf
+from repro.rdf.generators import random_graph
+from repro.sparql.parser import parse_pattern
 from repro.workloads.families import fk_data_graph, fk_forest
 
 
@@ -130,6 +142,179 @@ class TestEngineAgreement:
         assert engine.resolve_method("auto") == ("pebble", 1)
         # dw(F_2) = 1 certifies the pebble run, so the answers are unchanged.
         assert [engine.contains(graph, mu, method="auto") for mu in queries] == before
+
+
+class TestPatternStats:
+    def test_single_node_pattern(self):
+        stats = PatternStats.of(wdpf(parse_pattern("(?x p ?y)")))
+        assert (stats.trees, stats.nodes, stats.opt_children) == (1, 1, 0)
+        assert stats.variables == 2
+        assert stats.max_new_vars == 2
+        assert stats.max_branch_vars == 2
+        assert stats.subtree_bound == 1.0
+
+    def test_opt_children_counted(self):
+        pattern = parse_pattern("(((?x p ?y) OPT (?y q ?z)) OPT (?x r ?w))")
+        stats = PatternStats.of(wdpf(pattern))
+        assert stats.opt_children == 2
+        # Two independent OPT children of the root: {root}, {root,a},
+        # {root,b}, {root,a,b}.
+        assert stats.subtree_bound == 4.0
+        # Each child introduces exactly one fresh variable over the root.
+        assert stats.max_new_vars == 2  # the root itself introduces ?x ?y
+        assert stats.max_branch_vars == 3
+
+    def test_engine_memoizes_stats(self):
+        engine = Engine(parse_pattern("((?x p ?y) OPT (?y q ?z))"))
+        assert engine.pattern_stats() is engine.pattern_stats()
+
+
+class TestCostModel:
+    def _stats(self, **overrides):
+        base = dict(
+            trees=1,
+            nodes=3,
+            opt_children=2,
+            triples=3,
+            variables=4,
+            max_new_vars=2,
+            max_branch_vars=4,
+            subtree_bound=4.0,
+        )
+        base.update(overrides)
+        return PatternStats(**base)
+
+    def test_pebble_inadmissible_without_width(self):
+        estimate = CostModel().estimate(self._stats(), 100, 20, None)
+        assert estimate.cost_of("pebble") is None
+        assert estimate.cheapest() in ("naive", "natural")
+
+    def test_pebble_inadmissible_for_enumeration(self):
+        estimate = CostModel().estimate(self._stats(), 100, 20, 1, task="enumeration")
+        assert estimate.cost_of("pebble") is None
+        assert set(name for name, _ in estimate.costs) == {"naive", "natural"}
+
+    def test_membership_prefers_pebble_under_bounded_width(self):
+        # Many fresh variables per child: the n^new_vars child search dwarfs
+        # the d^(k+1) pebble game (the Theorem 1 regime).
+        stats = self._stats(max_new_vars=5, max_branch_vars=6)
+        estimate = CostModel().estimate(stats, 1000, 100, 1)
+        assert estimate.cheapest() == "pebble"
+
+    def test_enumeration_naive_wins_on_wide_flat_patterns(self):
+        # 2^20 subtrees: natural enumeration explodes, bottom-up naive does
+        # one pass per node.
+        stats = self._stats(nodes=21, opt_children=20, subtree_bound=2.0**20)
+        estimate = CostModel().estimate(stats, 50, 15, None, task="enumeration")
+        assert estimate.cheapest() == "naive"
+
+    def test_enumeration_natural_wins_on_deep_chains(self):
+        # A chain accumulates variables: the naive materialisation pays
+        # n^branch_vars while natural only ever searches fresh variables.
+        stats = self._stats(
+            nodes=5, opt_children=4, subtree_bound=5.0, max_new_vars=1, max_branch_vars=6
+        )
+        estimate = CostModel().estimate(stats, 50, 15, None, task="enumeration")
+        assert estimate.cheapest() == "natural"
+
+    def test_ties_break_toward_preference_order(self):
+        class FlatModel(CostModel):
+            def estimate(self, pattern, graph_triples, graph_domain, width, task="membership"):
+                estimate = super().estimate(pattern, graph_triples, graph_domain, width, task)
+                flat = tuple((name, 1.0) for name, _ in estimate.costs)
+                return type(estimate)(
+                    task=estimate.task,
+                    costs=flat,
+                    graph_triples=estimate.graph_triples,
+                    graph_domain=estimate.graph_domain,
+                    pattern_nodes=estimate.pattern_nodes,
+                    opt_children=estimate.opt_children,
+                )
+
+        stats = lambda: self._stats()  # noqa: E731
+        graph = random_graph(6, 20, seed=1)
+        # Membership with a free bound: PR 3 chose pebble; so does a tie.
+        tied = Planner(width_bound=1, pattern_stats=stats, cost_model=FlatModel())
+        assert tied.plan("auto", graph=graph).strategy == "pebble"
+        # Membership without any bound: PR 3 chose natural; so does a tie.
+        unbound = Planner(pattern_stats=stats, cost_model=FlatModel())
+        assert unbound.plan("auto", graph=graph).strategy == "natural"
+        # Enumeration: PR 3 always chose natural; so does a tie.
+        assert tied.plan_enumeration("auto", graph=graph).strategy == "natural"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(EvaluationError):
+            CostModel().estimate(self._stats(), 10, 5, None, task="sorting")
+
+    def test_graph_aware_auto_never_picks_pebble_without_bound(self):
+        engine = Engine(forest=fk_forest(2))
+        graph = fk_data_graph(5, 25, clique_size=2, seed=3)
+        plan = engine.plan("auto", graph=graph)
+        assert plan.strategy in ("naive", "natural")
+        assert plan.cost is not None
+        assert plan.cost.cost_of("pebble") is None
+
+    def test_graph_aware_plan_carries_estimate_in_explain(self):
+        engine = Engine(forest=fk_forest(2), width_bound=1)
+        graph = fk_data_graph(5, 25, clique_size=2, seed=3)
+        explained = engine.explain("auto", graph=graph)
+        assert "cost estimate    :" in explained
+        assert "cost inputs      : |G| = " in explained
+
+    def test_resolve_method_with_graph_matches_graph_aware_plan(self):
+        engine = Engine(forest=fk_forest(2), width_bound=1)
+        graph = fk_data_graph(5, 25, clique_size=2, seed=3)
+        plan = engine.plan("auto", graph=graph)
+        assert engine.resolve_method("auto", graph=graph) == (plan.strategy, plan.width)
+
+    def test_graph_aware_auto_answers_match_graph_free(self):
+        forest = fk_forest(2)
+        graph = fk_data_graph(5, 25, clique_size=2, seed=3)
+        queries = sorted(
+            Engine(forest=forest).solutions(graph, method="natural"), key=repr
+        )[:3]
+        engine = Engine(forest=forest, width_bound=1)
+        for mu in queries:
+            assert engine.contains(graph, mu, method="auto") == engine.contains(
+                graph, mu, method="natural"
+            )
+
+
+class TestPlanMemoization:
+    def test_graph_free_plans_are_shared(self):
+        engine = Engine(forest=fk_forest(2), width_bound=1)
+        assert engine.plan("auto") is engine.plan("auto")
+        assert engine.plan("natural") is engine.plan("natural")
+        assert engine.plan("pebble", width=2) is engine.plan("pebble", width=2)
+        assert engine.plan("auto") is not engine.plan("natural")
+
+    def test_graph_aware_plans_are_shared_per_graph_stats(self):
+        engine = Engine(forest=fk_forest(2), width_bound=1)
+        graph = fk_data_graph(5, 25, clique_size=2, seed=3)
+        assert engine.plan("auto", graph=graph) is engine.plan("auto", graph=graph)
+
+    def test_memo_invalidated_by_width_computation(self):
+        engine = Engine(forest=fk_forest(2))
+        before = engine.plan("auto")
+        assert before.strategy == "natural"
+        engine.domination_width()
+        after = engine.plan("auto")
+        assert after.strategy == "pebble" and after.certified
+
+    def test_memo_invalidated_by_graph_mutation(self):
+        from repro.rdf import Triple
+
+        engine = Engine(parse_pattern("((?x p ?y) OPT (?y q ?z))"))
+        graph = random_graph(6, 20, seed=4)
+        first = engine.plan("auto", graph=graph)
+        graph.add(Triple.of("urn:fresh-node", "urn:fresh-pred", "urn:fresh-object"))
+        second = engine.plan("auto", graph=graph)
+        assert second is not first  # |G| changed, so the key changed
+
+    def test_enumeration_plans_memoized(self):
+        engine = Engine(forest=fk_forest(2))
+        planner = engine.planner
+        assert planner.plan_enumeration("auto") is planner.plan_enumeration("auto")
 
 
 class TestExplainSnapshots:

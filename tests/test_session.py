@@ -239,6 +239,100 @@ class TestSolutionsMany:
         stats = session.cache.statistics
         assert stats.hits + stats.misses > 0
 
+    def test_warm_fork_parallel_matches_cold_and_serial(self):
+        """The warm-fork path (workers inherit a hot parent session) and the
+        cold-worker path (warm_on_fork=False) must produce identical answer
+        sets — warming is a pure performance feature."""
+        graph = tprime_data_graph(6, 20, seed=9)
+        patterns = [
+            WDPatternForest([tprime_tree(2)]),
+            WDPatternForest([tprime_tree(3)]),
+            WDPatternForest([tprime_tree(2)]),
+        ]
+        serial = Session().solutions_many(patterns, graph)
+        warm_session = Session()
+        warm_session.solutions_many(patterns, graph)  # steady state: hot cache
+        warm = warm_session.solutions_many(patterns, graph, processes=2)
+        cold = Session(warm_on_fork=False).solutions_many(patterns, graph, processes=2)
+        assert warm == serial == cold
+
+    def test_replayed_enumeration_matches_first_run(self):
+        """A second enumeration replays the recorded answer lists (cache
+        hits) and must return equal but independent sets."""
+        session = Session()
+        graph = tprime_data_graph(6, 20, seed=4)
+        forest = WDPatternForest([tprime_tree(2)])
+        first = session.solutions(forest, graph)
+        before = session.cache.statistics.enum_hits
+        second = session.solutions(forest, graph)
+        assert second == first and second is not first
+        assert session.cache.statistics.enum_hits > before
+
+
+class TestSolutionsIter:
+    def _workload(self):
+        graphs = [tprime_data_graph(6, 20, seed=11), tprime_data_graph(5, 15, seed=12)]
+        repeated = WDPatternForest([tprime_tree(2)])
+        patterns = [
+            repeated,
+            WDPatternForest([tprime_tree(3)]),
+            WDPatternForest([tprime_tree(2)]),  # structurally equal, distinct object
+            repeated,  # duplicate cell: same forest object twice
+        ]
+        return patterns, graphs
+
+    def _collect(self, iterator):
+        got = {}
+        for cell, mu in iterator:
+            got.setdefault(cell, set()).add(mu)
+        return got
+
+    @pytest.mark.parametrize("processes", [None, 2])
+    @pytest.mark.parametrize("order", ["submitted", "completed"])
+    def test_parity_with_solutions_many(self, order, processes):
+        patterns, graphs = self._workload()
+        session = Session()
+        matrix = session.solutions_many(patterns, graphs)
+        got = self._collect(
+            Session().solutions_iter(patterns, graphs, order=order, processes=processes)
+        )
+        for i in range(len(patterns)):
+            for j in range(len(graphs)):
+                assert got.get((i, j), set()) == matrix[i][j], (order, processes, i, j)
+
+    def test_single_graph_cells_use_graph_index_zero(self):
+        patterns, graphs = self._workload()
+        session = Session()
+        flat = session.solutions_many(patterns, graphs[0])
+        got = self._collect(session.solutions_iter(patterns, graphs[0]))
+        assert all(cell[1] == 0 for cell in got)
+        for i in range(len(patterns)):
+            assert got.get((i, 0), set()) == flat[i]
+
+    def test_submitted_order_is_submission_order(self):
+        patterns, graphs = self._workload()
+        cells_seen = []
+        for cell, _mu in Session().solutions_iter(patterns, graphs, order="submitted"):
+            if not cells_seen or cells_seen[-1] != cell:
+                cells_seen.append(cell)
+        assert cells_seen == sorted(cells_seen)
+
+    def test_serial_first_occurrence_streams_lazily(self):
+        """The first solutions arrive before later cells are evaluated."""
+        session = Session()
+        graph = tprime_data_graph(6, 20, seed=11)
+        full = WDPatternForest([tprime_tree(2)])
+        iterator = session.solutions_iter([full, WDPatternForest([tprime_tree(3)])], graph)
+        cell, mu = next(iterator)
+        assert cell == (0, 0)
+        assert mu in Engine(forest=full).solutions(graph, method="naive")
+
+    def test_invalid_order_rejected(self):
+        session = Session()
+        with pytest.raises(EvaluationError):
+            next(session.solutions_iter([WDPatternForest([tprime_tree(2)])],
+                                        tprime_data_graph(5, 15, seed=1), order="random"))
+
 
 class TestSolutionsAutoBugfix:
     """`Engine.solutions(method="auto")` used to raise; it must resolve to
