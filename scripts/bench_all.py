@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Run every ``BENCH_*``-writing benchmark and refresh its perf record.
+
+The perf history of this repository lives in the ``BENCH_*.json`` records
+at the repository root; each is written by one script under ``benchmarks/``
+that also *asserts* its speedup claim.  This driver discovers those scripts
+(by the record filename they write), runs each one — in ``--smoke`` mode by
+default, so a CI box refreshes every record in seconds — and reports which
+records changed.  CI runs it on every build and uploads the refreshed
+records as artifacts, so the perf trajectory actually accumulates instead
+of depending on someone remembering to run each benchmark by hand.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_all.py [--full] [--list]
+
+``--list`` prints the discovered benchmarks without running anything (used
+by the tests to pin discovery).  ``--full`` runs the full workloads instead
+of the smoke ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO_ROOT / "benchmarks"
+
+#: Matches the record filename a benchmark writes (its argparse default).
+_RECORD_PATTERN = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
+
+
+def discover() -> List[Tuple[Path, str, bool]]:
+    """Every ``(script, record, supports_smoke)`` under ``benchmarks/``.
+
+    A script participates iff its source names a ``BENCH_*.json`` record; it
+    is run with ``--smoke`` iff it advertises the flag.
+    """
+    found: List[Tuple[Path, str, bool]] = []
+    for script in sorted(BENCHMARKS.glob("bench_*.py")):
+        source = script.read_text(encoding="utf-8")
+        match = _RECORD_PATTERN.search(source)
+        if match is None:
+            continue
+        found.append((script, match.group(0), "--smoke" in source))
+    return found
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true", help="run the full workloads, not the smoke ones"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the discovered benchmarks and exit"
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = discover()
+    if args.list:
+        for script, record, supports_smoke in benchmarks:
+            mode = "smoke" if supports_smoke and not args.full else "full"
+            print(f"{script.relative_to(REPO_ROOT)} -> {record} ({mode})")
+        return 0
+    if not benchmarks:
+        print("error: no BENCH_*-writing benchmarks discovered", file=sys.stderr)
+        return 1
+
+    failures = []
+    for script, record, supports_smoke in benchmarks:
+        command = [sys.executable, str(script)]
+        if supports_smoke and not args.full:
+            command.append("--smoke")
+        print(f"=== {script.name} -> {record}", flush=True)
+        result = subprocess.run(command, cwd=REPO_ROOT)
+        if result.returncode != 0:
+            failures.append(script.name)
+            print(f"FAILED: {script.name} (exit {result.returncode})", file=sys.stderr)
+
+    written = [record for _, record, _ in benchmarks if (REPO_ROOT / record).exists()]
+    print(f"\nrecords refreshed: {', '.join(written) if written else '(none)'}")
+    if failures:
+        print(f"error: {len(failures)} benchmark(s) failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

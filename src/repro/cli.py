@@ -118,8 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stream",
         action="store_true",
-        help="print each verdict as soon as it is computed (serial; "
-        "incompatible with --processes)",
+        help="print each verdict as soon as it is computed (combines with "
+        "--processes: verdicts stream back from the worker pool in input "
+        "order)",
     )
 
     explain = subparsers.add_parser(
@@ -232,20 +233,21 @@ def _render_mapping(mu: Mapping) -> str:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    if args.stream and args.processes is not None and args.processes > 1:
-        raise ReproError("--stream prints verdicts as they are computed and is serial; "
-                         "drop --processes or --stream")
     graph = load_graph(args.graph)
     mappings = _load_bindings_file(args.bindings_file)
     session = Session(processes=args.processes)
     pattern = session.engine(parse_pattern(args.query), width_bound=args.width)
     if args.stream:
-        # Stream each verdict as soon as it is computed; the shared session
-        # cache still deduplicates the underlying work, so the verdicts are
-        # identical to the batched path below.
+        # Stream each verdict as soon as it is decided — serially through
+        # the shared session cache, or (with --processes) from the worker
+        # pool in input order.  Verdicts are identical to the batched path.
         answers = []
-        for mu in mappings:
-            answer = session.check(pattern, graph, mu, method=args.method, width=args.width)
+        for mu, answer in zip(
+            mappings,
+            session.check_iter(
+                pattern, graph, mappings, method=args.method, width=args.width
+            ),
+        ):
             answers.append(answer)
             print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}", flush=True)
     else:
@@ -259,6 +261,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     if args.stats:
         plan = session.plan(pattern, method=args.method, width=args.width, graph=graph)
         print(f"# plan: {plan.summary()}")
+        print(f"# workers: {session.worker_mode()}")
         stats = session.cache.statistics
         print(f"# cache: {stats.hits} hits, {stats.misses} misses ({stats.hit_rate():.0%} hit rate)")
     return 0

@@ -23,7 +23,7 @@ from .pebble_eval import (
     forest_contains_pebble_ctx,
 )
 from .extended import evaluate_extended, extended_pattern_contains
-from .cache import CacheStatistics, EvaluationCache
+from .cache import CacheDelta, CacheStatistics, EvaluationCache
 from .plan import (
     CostEstimate,
     CostModel,
@@ -59,6 +59,7 @@ __all__ = [
     "forest_contains_pebble_ctx",
     "evaluate_extended",
     "extended_pattern_contains",
+    "CacheDelta",
     "CacheStatistics",
     "EvaluationCache",
     "CostEstimate",

@@ -29,7 +29,7 @@ a shared session.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, Iterator, List, Optional, Set
 
 from .cache import EvaluationCache
 from .engine import Engine
@@ -142,6 +142,33 @@ class BatchEngine:
         point pinned to the adapter's single pattern.
         """
         return self._session.check_many(
+            self._engine,
+            graph,
+            mappings,
+            method=method,
+            width=width,
+            statistics=statistics,
+            processes=processes,
+        )
+
+    def contains_iter(
+        self,
+        graph: RDFGraph,
+        mappings: Iterable[Mapping],
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+        processes: Optional[int] = None,
+    ) -> Iterator[bool]:
+        """Stream the verdicts of :meth:`contains_many` in input order.
+
+        See :meth:`Session.check_iter
+        <repro.evaluation.session.Session.check_iter>` — verdicts surface
+        as they are decided (optionally from a worker pool whose learned
+        state flows back into the shared cache), instead of blocking until
+        the whole batch is done.
+        """
+        return self._session.check_iter(
             self._engine,
             graph,
             mappings,

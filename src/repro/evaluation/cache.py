@@ -38,7 +38,9 @@ Graph-dependent entries live in per-graph stores keyed on
 version, so the next lookup transparently drops every stale entry for that
 graph.  Stores are evicted when their graph is garbage collected, and
 ``max_entries_per_graph`` bounds each store with an **LRU** policy under
-rough size accounting: plain memo entries cost 1, kernels cost roughly the
+rough size accounting: plain memo entries cost 1, homomorphism lists and
+tree solution lists cost ``1 + len(list)`` (one unit per stored answer, so
+bounded caches evict large answer lists first), kernels cost roughly the
 number of values/support pairs they hold, every hit refreshes the entry's
 recency, and the least recently used entries are evicted first — so hot
 entries survive eviction pressure.  The same limit also caps the number of
@@ -52,12 +54,25 @@ A cache is shared safely between any number of :class:`Engine` /
 :class:`BatchEngine` instances — entries are keyed on the evaluated
 sub-instances, not on the owning engine, so patterns with common structure
 benefit from each other's work.
+
+**The worker return channel.**  Parallel sessions run their enumeration and
+membership workers in separate processes; whatever those workers learn
+would normally die with the pool.  :meth:`EvaluationCache.collect_deltas`
+turns on a journal of newly memoized entries, :meth:`export_delta` drains
+the journal into a picklable, version-stamped :class:`CacheDelta` (portable
+keys only: sub-instance content plus tree/graph *slots* instead of
+process-local ``id()``\\ s), and the parent merges a received delta through
+:meth:`absorb` — which re-checks every version stamp against the live graph
+(a delta recorded before a mutation is dropped, never merged) and charges
+the regular LRU costs.  Steady-state parallel serving therefore replays
+from the parent cache instead of recomputing per batch.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..hom.homomorphism import TargetIndex, find_homomorphism, target_index
 from ..hom.tgraph import GeneralizedTGraph, TGraph
@@ -67,10 +82,42 @@ from ..rdf.graph import RDFGraph
 from ..rdf.terms import Term, Variable
 from ..sparql.mappings import Mapping
 
-__all__ = ["CacheStatistics", "EvaluationCache"]
+__all__ = ["CacheDelta", "CacheStatistics", "EvaluationCache"]
 
 #: Sentinel distinguishing "absent" from memoized ``None``/``False`` values.
 _MISSING = object()
+
+#: Entry kinds that travel in a :class:`CacheDelta`.  All are deterministic,
+#: content-keyed memo entries; consistency kernels are excluded (they hold a
+#: graph weakref and are cheap to rebuild from an absorbed warm cache).
+_DELTA_KINDS = frozenset({"hom", "homlist", "pebble", "subtree", "treesol"})
+
+#: Delta kinds whose key leads with a process-local ``id(tree)`` that must be
+#: translated to a tree *slot* before crossing a process boundary.
+_TREE_KEYED_KINDS = frozenset({"subtree", "treesol"})
+
+
+@dataclass
+class CacheDelta:
+    """A picklable bundle of cache entries learned by one worker process.
+
+    Produced by :meth:`EvaluationCache.export_delta` and merged by
+    :meth:`EvaluationCache.absorb`.  Entries are stored under **portable**
+    keys: graph and tree objects are replaced by their positions (*slots*)
+    in the graph/tree lists both sides agree on, and every graph slot
+    carries the version stamp of the parent's graph at the time the work
+    was farmed out — :meth:`~EvaluationCache.absorb` drops a slot whose
+    stamp no longer matches the live graph, so a delta recorded against a
+    since-mutated graph can never poison the receiving cache.
+    """
+
+    #: Graph slot -> the parent-side ``RDFGraph.version`` stamp.
+    versions: Dict[int, int] = field(default_factory=dict)
+    #: ``(graph_slot, kind, portable_key, value, cost)`` records.
+    entries: List[Tuple[int, str, Tuple, object, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 class CacheStatistics:
@@ -89,6 +136,9 @@ class CacheStatistics:
         "subtree_misses",
         "invalidations",
         "evictions",
+        "deltas_absorbed",
+        "delta_entries",
+        "delta_entries_stale",
     )
 
     def __init__(self) -> None:
@@ -104,6 +154,9 @@ class CacheStatistics:
         self.subtree_misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.deltas_absorbed = 0
+        self.delta_entries = 0
+        self.delta_entries_stale = 0
 
     @property
     def hits(self) -> int:
@@ -243,6 +296,9 @@ class EvaluationCache:
         self._graphs: Dict[int, _GraphStore] = {}
         self._trees: Dict[int, _TreeTable] = {}
         self._statistics = CacheStatistics()
+        # Delta journal: id(graph) -> [(kind, key), ...] of entries memoized
+        # since the last export; None until collect_deltas() turns it on.
+        self._journal: Optional[Dict[int, List[Tuple[str, Tuple]]]] = None
 
     # --- introspection -----------------------------------------------------
     @property
@@ -272,6 +328,109 @@ class EvaluationCache:
         else:
             self._graphs.pop(id(graph), None)
         self._statistics.invalidations += 1
+
+    # --- the worker return channel ------------------------------------------
+    def collect_deltas(self) -> None:
+        """Start journaling newly memoized entries for :meth:`export_delta`.
+
+        Worker processes call this once in their pool initializer; under the
+        ``fork`` start method the flag flips only in the worker's
+        copy-on-write copy of an inherited parent cache, so inherited
+        entries are never re-shipped — only what the worker itself learns.
+        """
+        if self._journal is None:
+            self._journal = {}
+
+    @property
+    def collecting_deltas(self) -> bool:
+        """Whether the delta journal is on (see :meth:`collect_deltas`)."""
+        return self._journal is not None
+
+    def export_delta(
+        self,
+        graphs: Sequence[RDFGraph],
+        trees: Sequence[WDPatternTree],
+        stamps: Sequence[Optional[int]],
+    ) -> Optional[CacheDelta]:
+        """Drain the journal into a picklable :class:`CacheDelta` (or ``None``).
+
+        *graphs* and *trees* define the slot vocabulary shared with the
+        absorbing side; ``stamps[i]`` is the **parent-side** version of
+        ``graphs[i]`` at pool creation (``None`` withholds that graph's
+        entries — the caller passes ``None`` when its own copy of the graph
+        mutated after the pool was set up, so the stamp no longer describes
+        the entries).  Only entries whose store still matches the worker's
+        current graph version are exported; everything else is silently
+        dropped.  Returns ``None`` when nothing new was learned, so callers
+        can skip pickling empty deltas.
+        """
+        if self._journal is None:
+            return None
+        journal, self._journal = self._journal, {}
+        tree_slots = {id(tree): slot for slot, tree in enumerate(trees)}
+        delta = CacheDelta()
+        for slot, (graph, stamp) in enumerate(zip(graphs, stamps)):
+            keys = journal.get(id(graph))
+            if not keys or stamp is None:
+                continue
+            store = self._graphs.get(id(graph))
+            if store is None or store.version != graph.version:
+                continue
+            exported = False
+            for full_key in dict.fromkeys(keys):  # dedupe, keep journal order
+                value = store.entries.get(full_key, _MISSING)
+                if value is _MISSING:  # evicted since it was journaled
+                    continue
+                kind, key = full_key
+                if kind in _TREE_KEYED_KINDS:
+                    tree_slot = tree_slots.get(key[0])
+                    if tree_slot is None:  # tree outside the shared vocabulary
+                        continue
+                    key = (tree_slot,) + key[1:]
+                delta.entries.append((slot, kind, key, value, store.costs[full_key]))
+                exported = True
+            if exported:
+                delta.versions[slot] = stamp
+        return delta if delta.entries else None
+
+    def absorb(
+        self,
+        delta: CacheDelta,
+        graphs: Sequence[RDFGraph],
+        trees: Sequence[WDPatternTree] = (),
+    ) -> int:
+        """Merge a worker's :class:`CacheDelta` into this cache.
+
+        *graphs*/*trees* supply the same slot vocabulary the exporting side
+        used.  Every entry is guarded by its graph slot's version stamp: a
+        stamp that no longer matches the live ``graph.version`` (the parent
+        mutated the graph while the worker ran) is dropped and counted in
+        ``statistics.delta_entries_stale`` — a stale delta can never poison
+        the cache.  Accepted entries are inserted with their original costs
+        through the regular LRU bound.  Returns the number of entries
+        absorbed (already-present entries are skipped, preserving the
+        parent's own recency order).
+        """
+        tree_list = list(trees)
+        absorbed = 0
+        for slot, kind, key, value, cost in delta.entries:
+            stamp = delta.versions.get(slot)
+            graph = graphs[slot]
+            if stamp is None or stamp != graph.version:
+                self._statistics.delta_entries_stale += 1
+                continue
+            if kind in _TREE_KEYED_KINDS:
+                tree = tree_list[key[0]]
+                self._tree_table(tree)  # pin the tree so the id() key stays valid
+                key = (id(tree),) + key[1:]
+            store = self._store(graph)
+            if (kind, key) in store.entries:
+                continue
+            self._bounded_insert(graph, store, kind, key, value, cost)
+            absorbed += 1
+        self._statistics.deltas_absorbed += 1
+        self._statistics.delta_entries += absorbed
+        return absorbed
 
     # --- stores ------------------------------------------------------------
     def _store(self, graph: RDFGraph) -> _GraphStore:
@@ -313,13 +472,21 @@ class EvaluationCache:
         self._statistics.evictions += 1
 
     def _bounded_insert(
-        self, store: _GraphStore, kind: str, key: Tuple, value: object, cost: int = 1
+        self,
+        graph: RDFGraph,
+        store: _GraphStore,
+        kind: str,
+        key: Tuple,
+        value: object,
+        cost: int = 1,
     ) -> None:
         if self._max_entries is not None:
             while store.entries and store.total_cost + cost > self._max_entries:
                 store.evict_one()
                 self._statistics.evictions += 1
         store.put(kind, key, value, cost)
+        if self._journal is not None and kind in _DELTA_KINDS:
+            self._journal.setdefault(id(graph), []).append((kind, key))
 
     # --- memoized primitives ----------------------------------------------
     def target_index(self, graph: RDFGraph) -> TargetIndex:
@@ -348,7 +515,7 @@ class EvaluationCache:
         result = (
             find_homomorphism(triples, graph, fixed, self.target_index(graph)) is not None
         )
-        self._bounded_insert(store, "hom", key, result)
+        self._bounded_insert(graph, store, "hom", key, result)
         return result
 
     def homomorphisms_stream(
@@ -391,7 +558,7 @@ class EvaluationCache:
                 yield hom
             if graph.version == version:
                 self._bounded_insert(
-                    self._store(graph), "homlist", key, tuple(recorded),
+                    graph, self._store(graph), "homlist", key, tuple(recorded),
                     cost=1 + len(recorded),
                 )
 
@@ -425,7 +592,7 @@ class EvaluationCache:
         kernel = ConsistencyKernel(
             extended, graph, pebbles, index=self.target_index(graph)
         ).prepare()
-        self._bounded_insert(store, "kernel", key, kernel, cost=kernel.cost())
+        self._bounded_insert(graph, store, "kernel", key, kernel, cost=kernel.cost())
         return kernel
 
     def pebble_winner(
@@ -447,7 +614,7 @@ class EvaluationCache:
         # Re-fetch the store: building the kernel may have reset it if the
         # graph was mutated concurrently (defensive; same-version re-fetch is
         # a dict lookup).
-        self._bounded_insert(self._store(graph), "pebble", key, result)
+        self._bounded_insert(graph, self._store(graph), "pebble", key, result)
         return result
 
     def mu_subtree(
@@ -467,7 +634,7 @@ class EvaluationCache:
             self._statistics.subtree_misses += 1
             subtree = find_mu_subtree(tree, graph, mu)
             nodes = subtree.nodes if subtree is not None else None
-            self._bounded_insert(store, "subtree", key, nodes)
+            self._bounded_insert(graph, store, "subtree", key, nodes)
         if nodes is None:
             return None
         return Subtree(tree, nodes)
@@ -499,7 +666,7 @@ class EvaluationCache:
         self._tree_table(tree)
         solutions = tuple(solutions)
         self._bounded_insert(
-            store, "treesol", (id(tree),), solutions, cost=1 + len(solutions)
+            graph, store, "treesol", (id(tree),), solutions, cost=1 + len(solutions)
         )
 
     # --- warm-up ------------------------------------------------------------

@@ -9,8 +9,9 @@ environment:
 * ``cache`` — an optional :class:`~repro.evaluation.cache.EvaluationCache`;
 * ``statistics`` — an optional
   :class:`~repro.evaluation.wdeval.EvaluationStatistics` accumulator;
-* ``processes`` / ``warm_on_fork`` — the worker-pool settings of the batched
-  entry points (:class:`~repro.evaluation.session.Session`).
+* ``processes`` / ``warm_on_fork`` / ``stream_chunk_size`` — the worker-pool
+  settings of the batched entry points
+  (:class:`~repro.evaluation.session.Session`).
 
 The context also owns the cache-or-direct helpers (`mu_subtree`,
 `children_of`, `extension_exists`, `pebble_winner`, `homomorphisms`,
@@ -64,12 +65,17 @@ class EvalContext:
         Whether batched parallel runs warm the µ-independent cache state in
         the parent before forking workers (see
         :meth:`~repro.evaluation.session.Session.warm`).
+    stream_chunk_size:
+        Solutions per IPC message when parallel
+        :meth:`~repro.evaluation.session.Session.solutions_iter` streams a
+        cell's results across the process boundary.
     """
 
     cache: Optional[EvaluationCache] = None
     statistics: Optional["EvaluationStatistics"] = None
     processes: Optional[int] = None
     warm_on_fork: bool = True
+    stream_chunk_size: int = 16
 
     # --- construction --------------------------------------------------------
     @classmethod

@@ -20,11 +20,21 @@ candidate mappings, many patterns, many graphs — behind one shared cache.
   opt-in pool enumerates distinct cells in parallel;
 * :meth:`solutions_iter` streams those batched results **incrementally** —
   ``(cell, solution)`` pairs as cells complete, in submission or completion
-  order — instead of blocking until the whole batch is done;
+  order — instead of blocking until the whole batch is done; parallel runs
+  stream *within* a cell too: workers push fixed-size solution chunks over
+  a bounded IPC queue, so the consumer sees the first solutions of a cell
+  while the worker is still enumerating it;
 * parallel enumeration uses the same warm-fork path as membership: on the
   ``fork`` start method the parent warms the µ-independent cache state and
   workers inherit the live session (indexes, homomorphism lists, memoized
-  child tests) instead of rebuilding caches from scratch.
+  child tests) instead of rebuilding caches from scratch;
+* every parallel entry point has a **return channel**: workers journal what
+  they learn and ship it back as a picklable, version-stamped
+  :class:`~repro.evaluation.cache.CacheDelta` the parent merges through
+  :meth:`EvaluationCache.absorb
+  <repro.evaluation.cache.EvaluationCache.absorb>` — so a repeated batch
+  over the same cells replays from the parent cache instead of recomputing
+  (cells the parent can already answer completely never reach the pool).
 
 :class:`~repro.evaluation.batch.BatchEngine` is a single-pattern adapter
 over this class.
@@ -33,9 +43,12 @@ over this class.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
+from queue import Empty
+from time import monotonic
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from .cache import EvaluationCache
+from .cache import CacheDelta, EvaluationCache
 from .context import EvalContext
 from .engine import Engine
 from .plan import Plan, Planner
@@ -65,6 +78,14 @@ PatternLike = Union[Engine, GraphPattern, WDPatternForest]
 # target index already in (copy-on-write shared) memory.  Other start methods
 # receive pickled copies and rebuild the µ-independent state once per worker
 # in the initializer instead of lazily per task.
+#
+# Either way the learning is two-directional: every worker journals what it
+# memoizes (EvaluationCache.collect_deltas) and ships the journal back as a
+# version-stamped CacheDelta alongside its results; the parent absorbs the
+# deltas, so the pool's work outlives the pool.  Version stamps are the
+# *parent's* graph versions at pool creation — a worker's own (pickled or
+# forked) version counter is meaningless parent-side — and a worker whose
+# graph copy mutated withholds the stamp, so stale state is never shipped.
 
 _WORKER_STATE: Dict[str, object] = {}
 
@@ -76,6 +97,7 @@ def _init_worker(
     method: str,
     width: Optional[int],
     warm_engine: Optional[Engine] = None,
+    parent_version: Optional[int] = None,
 ) -> None:
     if warm_engine is not None:
         # Fork path: the parent's engine (and its warmed cache) arrives by
@@ -87,20 +109,66 @@ def _init_worker(
         if cache is not None:
             plan = engine.plan(method, width)
             plan.strategy_obj.warm(engine.forest, graph, plan, cache)
+    if engine.cache is not None:
+        engine.cache.collect_deltas()
     _WORKER_STATE["engine"] = engine
     _WORKER_STATE["graph"] = graph
     _WORKER_STATE["method"] = method
     _WORKER_STATE["width"] = width
+    _WORKER_STATE["trees"] = list(forest)
+    _WORKER_STATE["parent_version"] = parent_version
+    _WORKER_STATE["base_version"] = graph.version
 
 
-def _worker_contains(mu: Mapping) -> bool:
+def _export_membership_delta() -> Optional[CacheDelta]:
+    """The membership worker's learned-state delta since the last export."""
     engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
-    return engine.contains(
+    if engine.cache is None:
+        return None
+    graph: RDFGraph = _WORKER_STATE["graph"]  # type: ignore[assignment]
+    # Stamp with the parent's version only while our copy is unmutated.
+    stamp = (
+        _WORKER_STATE["parent_version"]
+        if graph.version == _WORKER_STATE["base_version"]
+        else None
+    )
+    return engine.cache.export_delta(
+        [graph], _WORKER_STATE["trees"], [stamp]  # type: ignore[arg-type]
+    )
+
+
+def _worker_contains(mu: Mapping) -> Tuple[bool, Optional[CacheDelta]]:
+    """One verdict + delta per task — the streaming (check_iter) shape."""
+    engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
+    answer = engine.contains(
         _WORKER_STATE["graph"],  # type: ignore[arg-type]
         mu,
         method=_WORKER_STATE["method"],  # type: ignore[arg-type]
         width=_WORKER_STATE["width"],  # type: ignore[arg-type]
     )
+    return answer, _export_membership_delta()
+
+
+def _worker_contains_chunk(
+    mappings: List[Mapping],
+) -> Tuple[List[bool], Optional[CacheDelta]]:
+    """Many verdicts + one delta per task — the blocking (check_many) shape.
+
+    The blocking path absorbs deltas only after the whole ``pool.map``
+    returns, so shipping one per mapping would pay per-message pickling for
+    zero latency gain; the parent chunks the batch instead.
+    """
+    engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
+    answers = [
+        engine.contains(
+            _WORKER_STATE["graph"],  # type: ignore[arg-type]
+            mu,
+            method=_WORKER_STATE["method"],  # type: ignore[arg-type]
+            width=_WORKER_STATE["width"],  # type: ignore[arg-type]
+        )
+        for mu in mappings
+    ]
+    return answers, _export_membership_delta()
 
 
 # Enumeration workers are initialised once per pool with every forest and
@@ -110,7 +178,10 @@ def _worker_contains(mu: Mapping) -> bool:
 # session** to the initializer — fork does not pickle initargs, so every
 # worker starts with the parent's target indexes, memoized homomorphism
 # lists and child-test verdicts already in (copy-on-write shared) memory
-# instead of rebuilding them from scratch.
+# instead of rebuilding them from scratch.  Streaming pools additionally
+# receive a bounded result queue: workers push fixed-size solution chunks
+# while they enumerate (backpressured by the queue bound) instead of
+# returning whole cells.
 
 _ENUM_STATE: Dict[str, object] = {}
 
@@ -120,6 +191,9 @@ def _init_enum_worker(
     graphs: List[RDFGraph],
     method: str,
     warm_session: Optional["Session"] = None,
+    parent_versions: Optional[List[int]] = None,
+    result_queue: Optional[object] = None,
+    chunk_size: int = 1,
 ) -> None:
     if warm_session is not None:
         # Fork path: the parent's session (engines + warmed cache) arrives
@@ -127,18 +201,44 @@ def _init_enum_worker(
         session = warm_session
     else:
         session = Session()
+    session.cache.collect_deltas()
     _ENUM_STATE["session"] = session
     _ENUM_STATE["forests"] = forests
     _ENUM_STATE["graphs"] = graphs
     _ENUM_STATE["method"] = method
+    _ENUM_STATE["trees"] = [tree for forest in forests for tree in forest]
+    _ENUM_STATE["parent_versions"] = (
+        parent_versions if parent_versions is not None else [g.version for g in graphs]
+    )
+    _ENUM_STATE["base_versions"] = [g.version for g in graphs]
+    _ENUM_STATE["queue"] = result_queue
+    _ENUM_STATE["chunk_size"] = chunk_size
 
 
-def _enum_worker_cell(task: Tuple[int, int, int]) -> Tuple[int, Set[Mapping]]:
+def _export_enum_delta() -> Optional[CacheDelta]:
+    """The worker's learned-state delta since the last export (or ``None``)."""
+    session: "Session" = _ENUM_STATE["session"]  # type: ignore[assignment]
+    graphs: List[RDFGraph] = _ENUM_STATE["graphs"]  # type: ignore[assignment]
+    stamps = [
+        parent if graph.version == base else None
+        for graph, base, parent in zip(
+            graphs,
+            _ENUM_STATE["base_versions"],  # type: ignore[arg-type]
+            _ENUM_STATE["parent_versions"],  # type: ignore[arg-type]
+        )
+    ]
+    return session.cache.export_delta(graphs, _ENUM_STATE["trees"], stamps)  # type: ignore[arg-type]
+
+
+def _enum_worker_cell(
+    task: Tuple[int, int, int],
+) -> Tuple[int, Set[Mapping], Optional[CacheDelta]]:
     """Enumerate one distinct (pattern, graph) cell in a worker process.
 
     Only forests cross the process boundary (the picklable normal form); the
     naive strategy evaluates the pattern rebuilt from the forest, which has
-    the same solutions by the normal-form semantics.
+    the same solutions by the normal-form semantics.  The returned delta
+    carries whatever the worker memoized for the cell.
     """
     position, forest_index, graph_index = task
     session: "Session" = _ENUM_STATE["session"]  # type: ignore[assignment]
@@ -147,7 +247,74 @@ def _enum_worker_cell(task: Tuple[int, int, int]) -> Tuple[int, Set[Mapping]]:
         _ENUM_STATE["graphs"][graph_index],  # type: ignore[index]
         method=_ENUM_STATE["method"],  # type: ignore[arg-type]
     )
-    return position, answers
+    return position, answers, _export_enum_delta()
+
+
+def _enum_stream_worker_cell(task: Tuple[int, int, int]) -> int:
+    """Stream one cell's solutions back in fixed-size chunks over the queue.
+
+    Messages are ``("chunk", position, [mappings])`` while enumerating,
+    ``("done", position, [tail mappings], delta)`` on completion, and
+    ``("error", position, description)`` on failure.  The queue is bounded,
+    so a slow parent backpressures the workers instead of buffering whole
+    cells in the pipe.
+    """
+    position, forest_index, graph_index = task
+    queue = _ENUM_STATE["queue"]
+    chunk_size: int = _ENUM_STATE["chunk_size"]  # type: ignore[assignment]
+    session: "Session" = _ENUM_STATE["session"]  # type: ignore[assignment]
+    try:
+        buffer: List[Mapping] = []
+        for mu in session.solutions_stream(
+            _ENUM_STATE["forests"][forest_index],  # type: ignore[index]
+            _ENUM_STATE["graphs"][graph_index],  # type: ignore[index]
+            method=_ENUM_STATE["method"],  # type: ignore[arg-type]
+        ):
+            buffer.append(mu)
+            if len(buffer) >= chunk_size:
+                queue.put(("chunk", position, buffer))  # type: ignore[union-attr]
+                buffer = []
+        queue.put(("done", position, buffer, _export_enum_delta()))  # type: ignore[union-attr]
+    except Exception as error:  # surfaced parent-side as an EvaluationError
+        queue.put(("error", position, f"{type(error).__name__}: {error}"))  # type: ignore[union-attr]
+    return position
+
+
+# --- worker-mode introspection ------------------------------------------------
+
+_warned_cold_pool = False
+
+
+def _start_method() -> str:
+    """The effective multiprocessing start method (monkeypatchable seam).
+
+    Uses ``allow_none`` so that pure introspection (``worker_mode()``,
+    ``repr``) never fixes the default context as a side effect — a later
+    ``multiprocessing.set_start_method()`` in application code must still
+    work.  While unfixed, the platform default (the first entry of
+    ``get_all_start_methods()``) is what a pool would use.
+    """
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is None:
+        method = multiprocessing.get_all_start_methods()[0]
+    return method
+
+
+def _warn_cold_pool(start_method: str) -> None:
+    """One-time warning: ``warm_on_fork=True`` cannot engage without fork."""
+    global _warned_cold_pool
+    if _warned_cold_pool:
+        return
+    _warned_cold_pool = True
+    warnings.warn(
+        f"warm_on_fork=True has no effect under the {start_method!r} start "
+        "method: worker pools start cold (workers rebuild the µ-independent "
+        "state in their initializer; learned state still returns through the "
+        "CacheDelta channel).  Check Session.worker_mode() for the effective "
+        "mode.",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 class Session:
@@ -183,7 +350,14 @@ class Session:
     warm_on_fork:
         Whether batched parallel membership warms the µ-independent cache
         state in the parent before forking workers (default ``True``; see
-        :meth:`warm`).
+        :meth:`warm`).  On start methods other than ``fork`` warming cannot
+        engage — the session then emits a one-time :class:`RuntimeWarning`
+        and runs the pool cold (see :meth:`worker_mode`).
+    stream_chunk_size:
+        How many solutions a parallel :meth:`solutions_iter` worker bundles
+        per IPC message (default 16).  Smaller chunks lower the latency to
+        the first solution of a cell; larger chunks lower the queue
+        overhead.  Per-call ``chunk_size=`` overrides it.
 
     >>> from repro.sparql import parse_pattern
     >>> from repro.rdf import RDFGraph, Triple
@@ -202,16 +376,22 @@ class Session:
         max_entries_per_graph: Optional[int] = None,
         max_engines: Optional[int] = None,
         warm_on_fork: bool = True,
+        stream_chunk_size: int = 16,
     ) -> None:
         if processes is not None and processes < 1:
             raise EvaluationError("processes must be a positive integer")
         if max_engines is not None and max_engines < 1:
             raise EvaluationError("max_engines must be a positive integer")
+        if stream_chunk_size < 1:
+            raise EvaluationError("stream_chunk_size must be a positive integer")
         self._cache = (
             cache if cache is not None else EvaluationCache(max_entries_per_graph)
         )
         self._context = EvalContext(
-            cache=self._cache, processes=processes, warm_on_fork=warm_on_fork
+            cache=self._cache,
+            processes=processes,
+            warm_on_fork=warm_on_fork,
+            stream_chunk_size=stream_chunk_size,
         )
         self._max_engines = max_engines
         # Engine memo: key -> (source object, engine), insertion-ordered by
@@ -238,8 +418,28 @@ class Session:
     def __repr__(self) -> str:
         return (
             f"Session(<{len(self._engines)} engines, "
-            f"processes={self._context.processes}>)"
+            f"processes={self._context.processes}, "
+            f"workers={self.worker_mode()}>)"
         )
+
+    def worker_mode(self, processes: Optional[int] = None) -> str:
+        """The effective worker mode of this session's parallel entry points.
+
+        One of ``"serial"`` (no pool would be used), ``"fork-warm"`` (fork
+        start method, workers inherit the warmed parent state),
+        ``"fork-cold"`` (fork, but ``warm_on_fork=False``), or the start
+        method name (``"spawn"`` / ``"forkserver"``) when forking is
+        unavailable — in which case ``warm_on_fork=True`` cannot engage and
+        pools run cold.  This is what the one-time cold-pool warning points
+        at, and what ``batch --stats`` prints.
+        """
+        processes = processes if processes is not None else self._context.processes
+        if processes is None or processes <= 1:
+            return "serial"
+        start_method = _start_method()
+        if start_method == "fork":
+            return "fork-warm" if self._context.warm_on_fork else "fork-cold"
+        return start_method
 
     # --- engines -----------------------------------------------------------
     def engine(self, pattern: PatternLike, width_bound: Optional[int] = None) -> Engine:
@@ -384,26 +584,78 @@ class Session:
             )
         return [answers[mu] for mu in mappings]
 
-    def _parallel_contains(
+    def check_iter(
+        self,
+        pattern: PatternLike,
+        graph: RDFGraph,
+        mappings: Iterable[Mapping],
+        method: str = "auto",
+        width: Optional[int] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+        processes: Optional[int] = None,
+    ) -> Iterator[bool]:
+        """Stream the verdicts of :meth:`check_many`, in input order.
+
+        Yields exactly the booleans :meth:`check_many` would return over the
+        same arguments, but incrementally — each verdict as soon as it is
+        decided, instead of blocking until the whole batch is done (what
+        ``batch --stream`` prints).  Repeated mappings replay their first
+        verdict.  With *processes* (or the session default) the distinct
+        mappings fan out over the same worker pool as :meth:`check_many`
+        (small chunks, so verdicts surface promptly) and the workers'
+        learned state is absorbed back into the session cache; *statistics*
+        is only accumulated on the serial path.
+        """
+        engine = self.engine(pattern)
+        mappings = list(mappings)
+        if not mappings:
+            return
+        plan = engine.plan(method, width, graph=graph)
+        strategy = plan.strategy_obj
+        unique: List[Mapping] = []
+        seen: Set[Mapping] = set()
+        for mu in mappings:
+            if mu not in seen:
+                seen.add(mu)
+                unique.append(mu)
+        processes = processes if processes is not None else self._context.processes
+        if (
+            processes is not None
+            and processes > 1
+            and len(unique) > 1
+            and strategy.parallel_safe
+        ):
+            yield from self._parallel_check_iter(
+                engine, graph, mappings, unique, plan, processes
+            )
+            return
+        known: Dict[Mapping, bool] = {}
+        for mu in mappings:
+            if mu not in known:
+                known[mu] = engine.contains(
+                    graph, mu, method=method, width=width, statistics=statistics
+                )
+            yield known[mu]
+
+    def _parallel_check_iter(
         self,
         engine: Engine,
         graph: RDFGraph,
         mappings: Sequence[Mapping],
+        unique: Sequence[Mapping],
         plan: Plan,
         processes: int,
-    ) -> List[bool]:
-        processes = min(processes, len(mappings))
-        chunksize = max(1, len(mappings) // (processes * 4))
-        ctx = multiprocessing.get_context()
-        warm_engine: Optional[Engine] = None
-        if ctx.get_start_method() == "fork" and self._context.warm_on_fork:
-            # Build the µ-independent state once in the parent so the workers
-            # fork with warm kernels/indexes instead of rebuilding them.  No
-            # mappings here on purpose: per-mapping witness-subtree lookups
-            # would serialise in the parent (Amdahl); workers do those in
-            # parallel against the copy-on-write shared kernels.
-            plan.strategy_obj.warm(engine.forest, graph, plan, self._cache)
-            warm_engine = engine
+    ) -> Iterator[bool]:
+        """Fan distinct mappings out and yield verdicts in input order.
+
+        The pool answers the distinct mappings in first-occurrence order
+        (``imap`` with chunk size 1, so verdicts stream back promptly); the
+        k-th input mapping's verdict only needs the first k distinct results
+        — the consumer never waits for the whole batch.
+        """
+        processes = min(processes, len(unique))
+        ctx, warm_engine = self._membership_pool_setup(engine, graph, plan)
+        trees = list(engine.forest)
         with ctx.Pool(
             processes,
             initializer=_init_worker,
@@ -414,9 +666,76 @@ class Session:
                 plan.strategy,
                 plan.width,
                 warm_engine,
+                graph.version,
             ),
         ) as pool:
-            return pool.map(_worker_contains, mappings, chunksize=chunksize)
+            results = pool.imap(_worker_contains, unique, chunksize=1)
+            known: Dict[Mapping, bool] = {}
+            drained = 0
+            for mu in mappings:
+                while mu not in known:
+                    answer, delta = next(results)
+                    if delta is not None:
+                        self._cache.absorb(delta, [graph], trees)
+                    known[unique[drained]] = answer
+                    drained += 1
+                yield known[mu]
+
+    def _membership_pool_setup(
+        self, engine: Engine, graph: RDFGraph, plan: Plan
+    ) -> Tuple[object, Optional[Engine]]:
+        """Warm (or warn) before a membership pool; returns (ctx, warm_engine)."""
+        ctx = multiprocessing.get_context()
+        warm_engine: Optional[Engine] = None
+        start_method = _start_method()
+        if start_method == "fork" and self._context.warm_on_fork:
+            # Build the µ-independent state once in the parent so the workers
+            # fork with warm kernels/indexes instead of rebuilding them.  No
+            # mappings here on purpose: per-mapping witness-subtree lookups
+            # would serialise in the parent (Amdahl); workers do those in
+            # parallel against the copy-on-write shared kernels.
+            plan.strategy_obj.warm(engine.forest, graph, plan, self._cache)
+            warm_engine = engine
+        elif self._context.warm_on_fork:
+            _warn_cold_pool(start_method)
+        return ctx, warm_engine
+
+    def _parallel_contains(
+        self,
+        engine: Engine,
+        graph: RDFGraph,
+        mappings: Sequence[Mapping],
+        plan: Plan,
+        processes: int,
+    ) -> List[bool]:
+        processes = min(processes, len(mappings))
+        chunksize = max(1, len(mappings) // (processes * 4))
+        chunks = [
+            list(mappings[start : start + chunksize])
+            for start in range(0, len(mappings), chunksize)
+        ]
+        ctx, warm_engine = self._membership_pool_setup(engine, graph, plan)
+        trees = list(engine.forest)
+        with ctx.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(
+                engine.forest,
+                engine.width_bound,
+                graph,
+                plan.strategy,
+                plan.width,
+                warm_engine,
+                graph.version,
+            ),
+        ) as pool:
+            results = pool.map(_worker_contains_chunk, chunks, chunksize=1)
+        answers: List[bool] = []
+        for chunk_answers, delta in results:
+            if delta is not None:
+                self._cache.absorb(delta, [graph], trees)
+            answers.extend(chunk_answers)
+        return answers
 
     def warm(
         self,
@@ -472,40 +791,66 @@ class Session:
                     order.append((engine, graph, key))
         return order
 
-    def _enumerate_distinct(
-        self,
-        order: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]],
-        method: str,
-        processes: Optional[int],
-        in_order: bool = False,
-    ) -> Iterator[Tuple[Tuple[int, int], Set[Mapping]]]:
-        """Enumerate every distinct cell, yielding ``(key, answers)`` pairs.
+    def _cached_cell_answers(
+        self, engine: Engine, graph: RDFGraph
+    ) -> Optional[Set[Mapping]]:
+        """The cell's full answer set if the parent cache can replay it.
 
-        Serial (``processes`` unset or 1) cells are evaluated lazily in
-        submission order through the session cache.  With a pool, distinct
-        cells fan out to enumeration workers; results are yielded **as they
-        complete** (``in_order=False``) or in submission order.  On the
-        ``fork`` start method the parent first warms the µ-independent state
-        of every cell (respecting ``warm_on_fork``) and workers inherit the
-        live session, so they replay memoized searches instead of rebuilding
-        caches from scratch.
+        A cell replays when every tree of the forest has a recorded complete
+        answer list (``⟦T⟧G``) for the current graph version — recorded by an
+        earlier serial run or absorbed from a worker's
+        :class:`~repro.evaluation.cache.CacheDelta`.  Returns ``None`` when
+        any tree is missing; the recorded lists are answer-identical to a
+        fresh enumeration by construction, so replaying is method-independent.
         """
-        processes = processes if processes is not None else self._context.processes
-        if processes is None or processes <= 1 or len(order) <= 1:
-            for engine, graph, key in order:
-                yield key, self.solutions(engine, graph, method=method)
-            return
-        # Validate the method once in the parent (rejects e.g. "pebble"
-        # before any worker is spawned); workers re-resolve per cell so the
-        # cost model can still pick naive vs natural per (pattern, graph).
-        Planner().plan_enumeration(method)
-        workers = min(processes, len(order))
+        answers: Set[Mapping] = set()
+        for tree in engine.forest:
+            replay = self._cache.tree_solution_list(tree, graph)
+            if replay is None:
+                return None
+            answers.update(replay)
+        return answers
+
+    def _partition_replayable(
+        self, order: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]]
+    ) -> Tuple[
+        List[Tuple[Tuple[int, int], Set[Mapping]]],
+        List[Tuple[Engine, RDFGraph, Tuple[int, int]]],
+    ]:
+        """Split cells into (replayed-from-cache, still-to-compute)."""
+        replayed: List[Tuple[Tuple[int, int], Set[Mapping]]] = []
+        pending: List[Tuple[Engine, RDFGraph, Tuple[int, int]]] = []
+        for engine, graph, key in order:
+            cached = self._cached_cell_answers(engine, graph)
+            if cached is not None:
+                replayed.append((key, cached))
+            else:
+                pending.append((engine, graph, key))
+        return replayed, pending
+
+    def _enum_pool_setup(
+        self,
+        pending: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]],
+        method: str,
+    ) -> Tuple[
+        object,
+        Optional["Session"],
+        List[WDPatternForest],
+        List[RDFGraph],
+        List[Tuple[int, int, int]],
+    ]:
+        """Shared pool preamble: dedup ship lists, tasks, warm-or-warn.
+
+        Returns ``(ctx, warm_session, forests, graphs, tasks)`` where tasks
+        are ``(position, forest_slot, graph_slot)`` triples indexing into
+        *pending* and the ship lists.
+        """
         forests: List[WDPatternForest] = []
         forest_index: Dict[int, int] = {}
         graphs: List[RDFGraph] = []
         graph_index: Dict[int, int] = {}
         tasks: List[Tuple[int, int, int]] = []
-        for position, (engine, graph, _key) in enumerate(order):
+        for position, (engine, graph, _key) in enumerate(pending):
             fi = forest_index.get(id(engine.forest))
             if fi is None:
                 fi = forest_index[id(engine.forest)] = len(forests)
@@ -517,23 +862,168 @@ class Session:
             tasks.append((position, fi, gi))
         ctx = multiprocessing.get_context()
         warm_session: Optional["Session"] = None
-        if ctx.get_start_method() == "fork" and self._context.warm_on_fork:
+        start_method = _start_method()
+        if start_method == "fork" and self._context.warm_on_fork:
             # Warm the µ-independent state (target indexes, graph domains)
             # in the parent; forked workers inherit it — together with every
             # homomorphism list and child test this session has already
             # memoized — as copy-on-write shared memory.
-            for engine, graph, _key in order:
+            for engine, graph, _key in pending:
                 plan = engine.planner.plan_enumeration(method, graph=graph)
                 plan.strategy_obj.warm(engine.forest, graph, plan, self._cache)
             warm_session = self
+        elif self._context.warm_on_fork:
+            _warn_cold_pool(start_method)
+        return ctx, warm_session, forests, graphs, tasks
+
+    def _enumerate_distinct(
+        self,
+        order: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]],
+        method: str,
+        processes: Optional[int],
+    ) -> Iterator[Tuple[Tuple[int, int], Set[Mapping]]]:
+        """Enumerate every distinct cell, yielding ``(key, answers)`` pairs.
+
+        Serial (``processes`` unset or 1) cells are evaluated lazily in
+        submission order through the session cache.  With a pool, cells the
+        parent cache can already answer completely are **replayed first
+        without touching the pool** (this is what makes a repeated parallel
+        batch cheap); the remaining cells fan out to enumeration workers
+        and are yielded as they complete.  On the ``fork`` start method the
+        parent first warms the µ-independent state of every pending cell
+        (respecting ``warm_on_fork``) and workers inherit the live session,
+        so they replay memoized searches instead of rebuilding caches from
+        scratch; every worker ships its learned state back as a
+        :class:`~repro.evaluation.cache.CacheDelta` which the parent
+        absorbs before yielding the cell.
+        """
+        processes = processes if processes is not None else self._context.processes
+        if processes is None or processes <= 1 or len(order) <= 1:
+            for engine, graph, key in order:
+                yield key, self.solutions(engine, graph, method=method)
+            return
+        # Validate the method once in the parent, *before* the replay
+        # short-circuit (a warm session must reject e.g. "pebble" exactly
+        # like a cold one); workers re-resolve per cell so the cost model
+        # can still pick naive vs natural per (pattern, graph).
+        Planner().plan_enumeration(method)
+        replayed, pending = self._partition_replayable(order)
+        yield from replayed
+        if not pending:
+            return
+        ctx, warm_session, forests, graphs, tasks = self._enum_pool_setup(
+            pending, method
+        )
+        workers = min(processes, len(pending))
+        parent_versions = [graph.version for graph in graphs]
+        trees = [tree for forest in forests for tree in forest]
         with ctx.Pool(
             workers,
             initializer=_init_enum_worker,
-            initargs=(forests, graphs, method, warm_session),
+            initargs=(forests, graphs, method, warm_session, parent_versions),
         ) as pool:
-            mapper = pool.imap if in_order else pool.imap_unordered
-            for position, answers in mapper(_enum_worker_cell, tasks):
-                yield order[position][2], answers
+            for position, answers, delta in pool.imap_unordered(
+                _enum_worker_cell, tasks
+            ):
+                if delta is not None:
+                    self._cache.absorb(delta, graphs, trees)
+                yield pending[position][2], answers
+
+    def _stream_distinct(
+        self,
+        order: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]],
+        method: str,
+        processes: int,
+        chunk_size: int,
+    ) -> Iterator[Tuple[str, Tuple[int, int], List[Mapping]]]:
+        """Stream every distinct cell as ``("chunk"|"done", key, mappings)``.
+
+        The true cross-process streaming core of :meth:`solutions_iter`:
+        replayable cells are emitted straight from the parent cache, the
+        rest fan out to a pool whose workers push fixed-size solution
+        chunks over a **bounded** IPC queue (slow consumers backpressure
+        the workers) and finish each cell with a ``done`` message carrying
+        the worker's :class:`~repro.evaluation.cache.CacheDelta`.  A
+        ``chunk`` event carries newly arrived solutions of the cell; the
+        closing ``done`` event carries no payload — every solution has
+        already been emitted through the cell's chunks, and consumers that
+        need a cell's complete list accumulate those.
+        """
+        # Same up-front validation as _enumerate_distinct: a warm session
+        # whose every cell replays must still reject invalid methods.
+        Planner().plan_enumeration(method)
+        replayed, pending = self._partition_replayable(order)
+        for key, answers in replayed:
+            yield ("chunk", key, list(answers))
+            yield ("done", key, [])
+        if not pending:
+            return
+        ctx, warm_session, forests, graphs, tasks = self._enum_pool_setup(
+            pending, method
+        )
+        workers = min(processes, len(pending))
+        parent_versions = [graph.version for graph in graphs]
+        trees = [tree for forest in forests for tree in forest]
+        try:
+            # Bounded: workers block once the parent falls this many chunks
+            # behind, instead of buffering whole cells in the pipe.
+            queue = ctx.Queue(maxsize=max(4, 2 * workers))
+        except (ImportError, OSError) as error:  # pragma: no cover - platform
+            raise EvaluationError(
+                "cross-process streaming needs multiprocessing queues, which "
+                f"are unavailable on this platform ({error}); run "
+                "solutions_iter serially (processes=None) instead"
+            ) from error
+        with ctx.Pool(
+            workers,
+            initializer=_init_enum_worker,
+            initargs=(
+                forests,
+                graphs,
+                method,
+                warm_session,
+                parent_versions,
+                queue,
+                chunk_size,
+            ),
+        ) as pool:
+            result = pool.map_async(_enum_stream_worker_cell, tasks)
+            outstanding = {position for position, _fi, _gi in tasks}
+            grace_deadline: Optional[float] = None
+            while outstanding:
+                try:
+                    message = queue.get(timeout=0.1)
+                except Empty:
+                    if result.ready():
+                        result.get()  # surfaces pool-level failures
+                        # The workers have returned, but queue.put only
+                        # hands messages to a feeder thread — the final
+                        # "done" may still be in flight.  Keep draining
+                        # for a grace period before declaring failure.
+                        if grace_deadline is None:
+                            grace_deadline = monotonic() + 5.0
+                        elif monotonic() > grace_deadline:
+                            raise EvaluationError(
+                                "streaming enumeration workers exited "
+                                "without completing every cell"
+                            )
+                    continue
+                tag, position = message[0], message[1]
+                key = pending[position][2]
+                if tag == "chunk":
+                    yield ("chunk", key, message[2])
+                elif tag == "done":
+                    tail, delta = message[2], message[3]
+                    if delta is not None:
+                        self._cache.absorb(delta, graphs, trees)
+                    outstanding.discard(position)
+                    if tail:
+                        yield ("chunk", key, tail)
+                    yield ("done", key, [])
+                else:  # "error"
+                    raise EvaluationError(
+                        f"enumeration worker failed: {message[2]}"
+                    )
 
     def solutions_many(
         self,
@@ -592,8 +1082,9 @@ class Session:
         method: str = "auto",
         order: str = "submitted",
         processes: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> Iterator[Tuple[Tuple[int, int], Mapping]]:
-        """Stream batched enumeration results as cells complete.
+        """Stream batched enumeration results as they are discovered.
 
         Yields ``((pattern_index, graph_index), mapping)`` pairs covering
         exactly the same answer sets as :meth:`solutions_many` over the same
@@ -603,20 +1094,27 @@ class Session:
         ``graph_index == 0``) or a sequence.
 
         ``order="submitted"`` (the default) yields cells in input order —
-        row by row, every solution of a cell before the next cell.  Serially
-        each **first occurrence** of a cell streams truly lazily from
-        :meth:`solutions_stream`; with a pool, whole cells arrive from the
-        enumeration workers as units.  ``order="completed"`` relaxes cell
-        ordering to completion order, which keeps the consumer busy while
-        slow cells are still running in the pool (within one cell, all of
-        its duplicate positions are emitted together, in submission order).
-        Parallel runs use the same warm-fork worker path as
-        :meth:`solutions_many`.
+        row by row, every solution of a cell before the next cell.  The
+        cell at the front streams truly incrementally: serially its first
+        occurrence is consumed lazily from :meth:`solutions_stream`; with a
+        pool its solutions arrive in fixed-size chunks (*chunk_size*, the
+        session's ``stream_chunk_size`` by default) over a bounded IPC
+        queue **while the worker is still enumerating the cell**.
+        ``order="completed"`` relaxes cell ordering entirely: chunks are
+        yielded in arrival order, interleaving cells, which keeps the
+        consumer busy while slow cells are still running (duplicate
+        positions of a cell are emitted together per chunk, in submission
+        order).  Parallel runs use the same warm-fork worker path and
+        :class:`~repro.evaluation.cache.CacheDelta` return channel as
+        :meth:`solutions_many`, so repeated batches replay from the parent
+        cache.
         """
         if order not in ("submitted", "completed"):
             raise EvaluationError(
                 f"order must be 'submitted' or 'completed', got {order!r}"
             )
+        if chunk_size is not None and chunk_size < 1:
+            raise EvaluationError("chunk_size must be a positive integer")
         single = isinstance(graphs, RDFGraph)
         graph_list: List[RDFGraph] = [graphs] if single else list(graphs)
         engines = [self.engine(pattern) for pattern in patterns]
@@ -652,25 +1150,56 @@ class Session:
                     done[key] = recorder
             return
 
+        chunk = (
+            chunk_size
+            if chunk_size is not None
+            else self._context.stream_chunk_size
+        )
+        events = self._stream_distinct(distinct, method, processes, chunk)
+
         if order == "completed":
             positions: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
             for cell, key in cells:
                 positions.setdefault(key, []).append(cell)
-            for key, answers in self._enumerate_distinct(
-                distinct, method, processes, in_order=False
-            ):
+            for tag, key, mappings in events:
+                if tag != "chunk":
+                    continue  # "done" closes a cell; its chunks are yielded
                 for cell in positions[key]:
-                    for mu in answers:
+                    for mu in mappings:
                         yield cell, mu
             return
 
-        # order == "submitted": consume the (submission-ordered) worker
-        # results exactly as far as the next cell to emit requires.
-        results = self._enumerate_distinct(distinct, method, processes, in_order=True)
-        done = {}
+        # order == "submitted": stream the front cell's chunks as they
+        # arrive; buffer chunks of later cells until their turn.  A cell's
+        # complete list is the concatenation of its chunk events (the
+        # closing "done" carries no payload).
+        finished: Dict[Tuple[int, int], List[Mapping]] = {}
+        buffers: Dict[Tuple[int, int], List[Mapping]] = {}
         for cell, key in cells:
-            while key not in done:
-                finished_key, answers = next(results)
-                done[finished_key] = answers
-            for mu in done[key]:
+            if key in finished:
+                for mu in finished[key]:
+                    yield cell, mu
+                continue
+            # Flush whatever arrived for this cell while an earlier cell
+            # held the front — don't wait for its next event to release it.
+            emitted = 0
+            for mu in buffers.get(key, ()):
                 yield cell, mu
+                emitted += 1
+            while key not in finished:
+                tag, event_key, mappings = next(events)
+                if tag == "chunk":
+                    buffers.setdefault(event_key, []).extend(mappings)
+                    if event_key == key:
+                        buffered = buffers[key]
+                        while emitted < len(buffered):
+                            yield cell, buffered[emitted]
+                            emitted += 1
+                else:
+                    finished[event_key] = buffers.pop(event_key, [])
+            for mu in finished[key][emitted:]:
+                yield cell, mu
+        # Drain cells that finished after the last position needing them so
+        # their workers' deltas are still absorbed into the session cache.
+        for _tag, _key, _mappings in events:
+            pass

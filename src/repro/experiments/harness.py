@@ -139,6 +139,7 @@ def time_batched_enumeration(
     processes: Optional[int] = None,
     warm: bool = False,
     warm_on_fork: bool = True,
+    warm_processes: Optional[int] = 1,
     repeat: int = 1,
 ) -> tuple[float, List]:
     """Time a batched enumeration workload through an evaluation session.
@@ -149,24 +150,30 @@ def time_batched_enumeration(
     and hence a cold cache — is built inside the timed callable, measuring
     the full batched evaluation.  With ``warm=True`` the session first
     enumerates the workload once *outside* the timing (steady-state serving:
-    indexes, homomorphism lists and child tests are hot) and the timed runs
-    measure warm batched — or, with *processes*, warm-**forked** parallel —
-    enumeration.  *warm_on_fork* is forwarded to the session —
+    indexes, homomorphism lists and recorded answer lists are hot) and the
+    timed runs measure warm batched enumeration — with *processes*, cells
+    whose complete answer lists are recorded replay parent-side and never
+    reach the pool, so this measures steady-state replay, not worker
+    forking.  *warm_processes* sizes the warm-up pass itself: the
+    default ``1`` warms serially in the parent; any larger value warms
+    through a parallel batch whose workers ship their learned state back
+    over the :class:`~repro.evaluation.cache.CacheDelta` return channel —
+    the parent ends up warm either way (worker caches no longer die with
+    the pool), which is exactly what the repeated-parallel-batch benchmark
+    case measures.  *warm_on_fork* is forwarded to the session —
     ``warm_on_fork=False`` with a pool is the **cold-worker baseline**
-    (every worker rebuilds its cache from scratch).  This is the pair of
+    (every worker rebuilds its cache from scratch).  This is the trio of
     paths ``benchmarks/bench_session_enumeration.py`` compares in its
-    warm-fork case.
+    parallel cases.
     """
     from ..evaluation import Session
 
     forests = list(forests)
     if warm:
         session = Session(processes=processes, warm_on_fork=warm_on_fork)
-        # The warm-up pass runs serially *in this process*: parallel cells
-        # are enumerated in worker processes, whose caches die with the
-        # pool, so only a parent-side pass leaves the session hot for the
-        # subsequent fork.
-        session.solutions_many(forests, graph, method=method, processes=1)
+        session.solutions_many(
+            forests, graph, method=method, processes=warm_processes
+        )
         return time_callable(
             lambda: session.solutions_many(forests, graph, method=method), repeat
         )

@@ -1,0 +1,30 @@
+"""`scripts/bench_all.py` discovery: the perf-record driver must find every
+``BENCH_*``-writing benchmark (what CI runs and uploads as artifacts)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_all  # noqa: E402
+
+
+class TestDiscovery:
+    def test_every_record_writing_benchmark_is_discovered(self):
+        found = {script.name: record for script, record, _smoke in bench_all.discover()}
+        assert found["bench_pebble_kernel.py"] == "BENCH_pebble_kernel.json"
+        assert found["bench_session_enumeration.py"] == "BENCH_session_enumeration.json"
+
+    def test_discovered_benchmarks_support_smoke_mode(self):
+        """CI runs the driver without --full; every discovered script must
+        advertise --smoke so the records refresh in seconds."""
+        benchmarks = bench_all.discover()
+        assert benchmarks, "discovery found nothing"
+        for script, record, supports_smoke in benchmarks:
+            assert supports_smoke, f"{script.name} writes {record} but has no --smoke"
+
+    def test_list_mode_prints_without_running(self, capsys):
+        assert bench_all.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_session_enumeration.json" in out
+        assert "(smoke)" in out

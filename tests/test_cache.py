@@ -326,3 +326,136 @@ class TestTargetIndexReuse:
         fresh = sorted(all_homomorphisms(source, graph), key=repr)
         reused = sorted(all_homomorphisms(source, graph, index=index), key=repr)
         assert fresh == reused
+
+
+class TestSizeAccounting:
+    """Pin the LRU charges so the docs (1 + len(list) per answer list, 1 per
+    plain memo entry) cannot drift from the implementation again."""
+
+    def _store(self, cache, graph):
+        return cache._graphs[id(graph)]
+
+    def test_homomorphism_list_charged_one_plus_length(self):
+        cache = EvaluationCache()
+        graph = random_graph(6, 25, seed=3)
+        source = TGraph(list(fk_forest(2))[0].pat(list(fk_forest(2))[0].root))
+        homs = cache.homomorphism_list(source, graph)
+        assert len(homs) > 1  # the charge must actually exceed a plain entry
+        key = ("homlist", (source.triples(),))
+        assert self._store(cache, graph).costs[key] == 1 + len(homs)
+
+    def test_tree_solution_list_charged_one_plus_length(self):
+        cache = EvaluationCache()
+        graph = random_graph(6, 25, seed=5)
+        forest = fk_forest(2)
+        tree = list(forest)[0]
+        Engine(forest=forest, cache=cache).solutions(graph, method="natural")
+        recorded = cache.tree_solution_list(tree, graph)
+        assert recorded is not None
+        key = ("treesol", (id(tree),))
+        assert self._store(cache, graph).costs[key] == 1 + len(recorded)
+
+    def test_plain_memo_entries_charged_one(self):
+        cache = EvaluationCache()
+        graph = RDFGraph([Triple.of(EX.a, EX.p, EX.b)])
+        source = TGraph.of(("?x", EX.p.value, "?y"))
+        cache.extension_exists(source, graph, Mapping.EMPTY)
+        store = self._store(cache, graph)
+        (key,) = [k for k in store.costs if k[0] == "hom"]
+        assert store.costs[key] == 1
+
+
+class TestCacheDelta:
+    """The worker return channel: export_delta / absorb round-trips."""
+
+    def _enumerated_cache(self, graph, forest):
+        """A journaling cache that enumerated *forest* over *graph*."""
+        cache = EvaluationCache()
+        cache.collect_deltas()
+        Engine(forest=forest, cache=cache).solutions(graph, method="natural")
+        return cache
+
+    def test_export_absorb_roundtrip_replays_enumeration(self):
+        import pickle
+
+        graph = random_graph(6, 25, seed=11)
+        forest = fk_forest(2)
+        trees = list(forest)
+        worker = self._enumerated_cache(graph, forest)
+        delta = worker.export_delta([graph], trees, [graph.version])
+        assert delta is not None and len(delta) > 0
+        # The delta is the picklable currency of the return channel.
+        delta = pickle.loads(pickle.dumps(delta))
+
+        parent = EvaluationCache()
+        absorbed = parent.absorb(delta, [graph], trees)
+        assert absorbed == len(delta)
+        assert parent.statistics.delta_entries == absorbed
+        # The parent now replays the complete enumeration from memory.
+        for tree in trees:
+            assert parent.tree_solution_list(tree, graph) is not None
+        hits_before = parent.statistics.enum_hits
+        answers = Engine(forest=forest, cache=parent).solutions(graph, method="natural")
+        assert answers == Engine(forest=forest).solutions(graph, method="natural")
+        assert parent.statistics.enum_hits > hits_before
+
+    def test_journal_off_exports_none(self):
+        graph = random_graph(5, 20, seed=2)
+        forest = fk_forest(2)
+        cache = EvaluationCache()
+        Engine(forest=forest, cache=cache).solutions(graph, method="natural")
+        assert not cache.collecting_deltas
+        assert cache.export_delta([graph], list(forest), [graph.version]) is None
+
+    def test_export_drains_the_journal(self):
+        graph = random_graph(6, 25, seed=11)
+        forest = fk_forest(2)
+        worker = self._enumerated_cache(graph, forest)
+        trees = list(forest)
+        assert worker.export_delta([graph], trees, [graph.version]) is not None
+        # Nothing new learned since the export: the second delta is empty.
+        assert worker.export_delta([graph], trees, [graph.version]) is None
+
+    def test_stale_delta_never_poisons_the_parent(self):
+        """A delta stamped before a graph mutation must be dropped whole."""
+        graph = random_graph(6, 25, seed=13)
+        forest = fk_forest(2)
+        trees = list(forest)
+        worker = self._enumerated_cache(graph, forest)
+        delta = worker.export_delta([graph], trees, [graph.version])
+        assert delta is not None
+
+        parent = EvaluationCache()
+        graph.add(Triple.of(str(EX["zzz"]), str(EX["zzz"]), str(EX["zzz"])))
+        assert parent.absorb(delta, [graph], trees) == 0
+        assert parent.statistics.delta_entries_stale == len(delta)
+        for tree in trees:
+            assert parent.tree_solution_list(tree, graph) is None
+        # Post-mutation evaluation through the absorbing cache stays exact.
+        answers = Engine(forest=forest, cache=parent).solutions(graph, method="natural")
+        assert answers == Engine(forest=forest).solutions(graph, method="natural")
+
+    def test_mutated_worker_graph_withholds_the_stamp(self):
+        """export_delta(stamp=None) — the session passes None when the
+        worker's own graph copy mutated — exports nothing for that graph."""
+        graph = random_graph(6, 25, seed=17)
+        forest = fk_forest(2)
+        worker = self._enumerated_cache(graph, forest)
+        assert worker.export_delta([graph], list(forest), [None]) is None
+
+    def test_absorb_respects_the_lru_bound(self):
+        graph = random_graph(6, 25, seed=19)
+        forest = fk_forest(2)
+        trees = list(forest)
+        worker = self._enumerated_cache(graph, forest)
+        delta = worker.export_delta([graph], trees, [graph.version])
+        total_cost = sum(entry[4] for entry in delta.entries)
+
+        bounded = EvaluationCache(max_entries_per_graph=max(2, total_cost // 2))
+        bounded.absorb(delta, [graph], trees)
+        store = bounded._graphs[id(graph)]
+        assert store.total_cost <= max(2, total_cost // 2)
+        assert bounded.statistics.evictions > 0
+        # Bounded absorption stays answer-preserving.
+        answers = Engine(forest=forest, cache=bounded).solutions(graph, method="natural")
+        assert answers == Engine(forest=forest).solutions(graph, method="natural")

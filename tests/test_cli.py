@@ -321,15 +321,37 @@ class TestBatchStream:
         streamed = capsys.readouterr().out
         assert streamed == batched
 
-    def test_stream_rejects_processes(self, graph_file, bindings_file, capsys):
+    def test_stream_with_processes_matches_batched(self, graph_file, bindings_file, capsys):
+        """--stream now combines with --processes: verdicts stream back from
+        the worker pool in input order, identical to the batched output."""
+        argv = ["batch", "--graph", graph_file, "--query", QUERY, "--bindings-file", bindings_file]
+        assert main(argv) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--stream", "--processes", "2"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed == batched
+
+    def test_stream_rejects_invalid_processes(self, graph_file, bindings_file, capsys):
         exit_code = main(
             [
                 "batch", "--graph", graph_file, "--query", QUERY,
-                "--bindings-file", bindings_file, "--stream", "--processes", "2",
+                "--bindings-file", bindings_file, "--stream", "--processes", "0",
             ]
         )
         assert exit_code == 2
-        assert "--stream" in capsys.readouterr().err
+        assert "processes" in capsys.readouterr().err
+
+    def test_stats_reports_worker_mode(self, graph_file, bindings_file, capsys):
+        argv = [
+            "batch", "--graph", graph_file, "--query", QUERY,
+            "--bindings-file", bindings_file, "--stats",
+        ]
+        assert main(argv) == 0
+        assert "# workers: serial" in capsys.readouterr().out
+        assert main(argv + ["--processes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# workers: " in out
+        assert "# workers: serial" not in out
 
 
 class TestClassifyAndValidate:

@@ -5,7 +5,9 @@ import pytest
 from repro.evaluation import BatchEngine, Engine, EvaluationCache, Session
 from repro.exceptions import EvaluationError
 from repro.patterns import WDPatternForest
+from repro.rdf import Triple
 from repro.rdf.generators import random_graph
+from repro.rdf.namespace import EX
 from repro.rdf.terms import IRI
 from repro.sparql import Mapping, parse_pattern
 from repro.workloads.families import fk_data_graph, fk_forest, tprime_data_graph, tprime_tree
@@ -411,3 +413,332 @@ class TestPicklability:
         assert clone.contains(graph, mu, method="pebble", width=1) == engine.contains(
             graph, mu, method="pebble", width=1
         )
+
+
+class TestWorkerMode:
+    """The effective parallel mode is introspectable, and a warm_on_fork
+    request that cannot engage (non-fork start methods) warns once instead
+    of silently running cold."""
+
+    def test_serial_when_no_pool_would_run(self):
+        assert Session().worker_mode() == "serial"
+        assert Session(processes=2).worker_mode(processes=1) == "serial"
+        assert Session().worker_mode(processes=1) == "serial"
+
+    def test_fork_modes(self):
+        import multiprocessing
+
+        if multiprocessing.get_context().get_start_method() != "fork":
+            pytest.skip("needs the fork start method")
+        assert Session(processes=2).worker_mode() == "fork-warm"
+        assert Session(processes=2, warm_on_fork=False).worker_mode() == "fork-cold"
+        assert Session().worker_mode(processes=4) == "fork-warm"
+
+    def test_non_fork_reports_start_method(self, monkeypatch):
+        from repro.evaluation import session as session_module
+
+        monkeypatch.setattr(session_module, "_start_method", lambda: "spawn")
+        assert Session(processes=2).worker_mode() == "spawn"
+        assert Session(processes=2, warm_on_fork=False).worker_mode() == "spawn"
+        assert Session().worker_mode() == "serial"  # still no pool
+
+    def test_repr_shows_worker_mode(self):
+        assert "workers=serial" in repr(Session())
+
+    def _spawn_platform(self, monkeypatch):
+        """Pretend the start method is spawn (pools still fork underneath —
+        only the warm/warn decision is driven by the monkeypatched seam)."""
+        from repro.evaluation import session as session_module
+
+        monkeypatch.setattr(session_module, "_start_method", lambda: "spawn")
+        monkeypatch.setattr(session_module, "_warned_cold_pool", False)
+        return session_module
+
+    def test_warm_on_fork_noop_warns_once(self, monkeypatch):
+        import warnings as warnings_module
+
+        self._spawn_platform(monkeypatch)
+        graph = tprime_data_graph(6, 20, seed=9)
+        patterns = [WDPatternForest([tprime_tree(2)]), WDPatternForest([tprime_tree(3)])]
+        session = Session(processes=2)
+        with pytest.warns(RuntimeWarning, match="warm_on_fork=True has no effect"):
+            first = session.solutions_many(patterns, graph)
+        # One-time: the second cold pool (even on a fresh session) is silent.
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            second = Session(processes=2).solutions_many(patterns, graph)
+        assert first == second == Session().solutions_many(patterns, graph)
+
+    def test_membership_pool_also_warns(self, monkeypatch, setting):
+        self._spawn_platform(monkeypatch)
+        forest, graph, engine, queries = setting
+        session = Session()
+        with pytest.warns(RuntimeWarning, match="worker pools start cold"):
+            answers = session.check_many(forest, graph, queries, processes=2)
+        assert answers == [engine.contains(graph, mu) for mu in queries]
+
+    def test_cold_by_choice_does_not_warn(self, monkeypatch):
+        import warnings as warnings_module
+
+        self._spawn_platform(monkeypatch)
+        graph = tprime_data_graph(6, 20, seed=9)
+        patterns = [WDPatternForest([tprime_tree(2)]), WDPatternForest([tprime_tree(3)])]
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            Session(processes=2, warm_on_fork=False).solutions_many(patterns, graph)
+
+
+class TestCheckIter:
+    def test_serial_parity_with_check_many(self, setting):
+        forest, graph, engine, queries = setting
+        queries = queries + queries[:2]  # repeated mappings replay
+        session = Session()
+        expected = session.check_many(forest, graph, queries)
+        assert list(Session().check_iter(forest, graph, queries)) == expected
+
+    def test_parallel_parity_with_check_many(self, setting):
+        forest, graph, engine, queries = setting
+        expected = Session().check_many(forest, graph, queries)
+        assert list(Session().check_iter(forest, graph, queries, processes=2)) == expected
+
+    def test_empty_batch(self, setting):
+        forest, graph, _engine, _queries = setting
+        assert list(Session().check_iter(forest, graph, [])) == []
+
+    def test_verdicts_stream_before_exhaustion(self, setting):
+        forest, graph, engine, queries = setting
+        iterator = Session().check_iter(forest, graph, queries)
+        assert next(iterator) == engine.contains(graph, queries[0])
+
+    def test_parallel_absorbs_membership_deltas(self, setting):
+        forest, graph, _engine, queries = setting
+        session = Session()
+        session.check_many(forest, graph, queries, processes=2)
+        assert session.cache.statistics.delta_entries > 0
+        # The absorbed verdicts replay without re-deriving them: a serial
+        # re-check of the same batch is answered from the parent cache.
+        hits_before = session.cache.statistics.hits
+        session.check_many(forest, graph, queries)
+        assert session.cache.statistics.hits > hits_before
+
+
+class TestReturnChannel:
+    """Workers ship their learned state back as CacheDeltas; the parent
+    absorbs them, so repeated parallel batches replay from the parent cache
+    instead of recomputing (the PR 5 acceptance criterion)."""
+
+    def _workload(self):
+        graph = tprime_data_graph(6, 20, seed=21)
+        patterns = [
+            WDPatternForest([tprime_tree(2)]),
+            WDPatternForest([tprime_tree(3)]),
+            WDPatternForest([tprime_tree(4)]),
+        ]
+        return patterns, graph
+
+    def test_second_parallel_solutions_many_hits_parent_cache(self):
+        patterns, graph = self._workload()
+        session = Session()
+        first = session.solutions_many(patterns, graph, processes=2)
+        assert session.cache.statistics.delta_entries > 0
+        hits_before = session.cache.statistics.enum_hits
+        second = session.solutions_many(patterns, graph, processes=2)
+        assert session.cache.statistics.enum_hits > hits_before
+        assert second == first == Session().solutions_many(patterns, graph)
+
+    def test_parallel_worker_answer_lists_absorbed(self):
+        patterns, graph = self._workload()
+        session = Session(warm_on_fork=False)  # cold workers: all learning
+        session.solutions_many(patterns, graph, processes=2)  # returns via deltas
+        for forest in patterns:
+            for tree in forest:
+                assert session.cache.tree_solution_list(tree, graph) is not None
+
+    def test_second_parallel_solutions_iter_replays(self):
+        patterns, graph = self._workload()
+        session = Session()
+        first = {}
+        for cell, mu in session.solutions_iter(patterns, graph, processes=2):
+            first.setdefault(cell, set()).add(mu)
+        assert session.cache.statistics.delta_entries > 0
+        hits_before = session.cache.statistics.enum_hits
+        second = {}
+        for cell, mu in session.solutions_iter(patterns, graph, processes=2):
+            second.setdefault(cell, set()).add(mu)
+        assert session.cache.statistics.enum_hits > hits_before
+        assert second == first
+
+    def test_warm_replay_still_rejects_invalid_methods(self):
+        """A warm session (every cell replayable) must reject bad methods
+        exactly like a cold one — validation happens before the replay
+        short-circuit, not only when a pool is actually created."""
+        patterns, graph = self._workload()
+        session = Session()
+        session.solutions_many(patterns, graph, processes=2)  # warm the parent
+        with pytest.raises(EvaluationError):
+            session.solutions_many(patterns, graph, method="pebble", processes=2)
+        with pytest.raises(EvaluationError):
+            list(session.solutions_iter(patterns, graph, method="bogus", processes=2))
+
+    def test_serial_warmup_then_parallel_batch_replays_without_pool(self):
+        """A serially warmed parent answers every cell from its own cache:
+        the pool is never created (replay is pool-free by construction)."""
+        patterns, graph = self._workload()
+        session = Session()
+        serial = session.solutions_many(patterns, graph)
+        hits_before = session.cache.statistics.enum_hits
+        parallel = session.solutions_many(patterns, graph, processes=2)
+        assert parallel == serial
+        assert session.cache.statistics.enum_hits > hits_before
+        # No deltas were shipped because no worker ever ran.
+        assert session.cache.statistics.deltas_absorbed == 0
+
+
+class TestCrossProcessStreaming:
+    """Parallel solutions_iter streams *within* a cell: fixed-size chunks
+    cross the process boundary while the worker is still enumerating."""
+
+    def _single_cell(self):
+        graph = tprime_data_graph(7, 30, seed=23)
+        forest = WDPatternForest([tprime_tree(2)])
+        return forest, graph
+
+    def test_chunks_arrive_before_the_cell_finishes(self):
+        forest, graph = self._single_cell()
+        session = Session()
+        engine = session.engine(forest)
+        expected = Engine(forest=forest).solutions(graph, method="natural")
+        assert len(expected) > 3  # multi-solution workload, else vacuous
+        distinct = session._distinct_cells([engine], [graph])
+        events = list(session._stream_distinct(distinct, "natural", 2, 1))
+        tags = [event[0] for event in events]
+        # More than one chunk per cell, every chunk before the done event:
+        # the consumer sees solutions while the worker is still enumerating.
+        assert tags.count("chunk") == len(expected)
+        assert tags[-1] == "done" and "done" not in tags[:-1]
+        streamed = [mu for tag, _key, mappings in events if tag == "chunk" for mu in mappings]
+        assert len(streamed) == len(expected)
+        assert set(streamed) == expected
+
+    def test_first_solution_yields_before_exhaustion(self):
+        """Two distinct cells engage the pool; the first solution of the
+        front cell surfaces while both workers are still enumerating."""
+        forest, graph = self._single_cell()
+        other = WDPatternForest([tprime_tree(3)])
+        expected = Engine(forest=forest).solutions(graph, method="natural")
+        iterator = Session().solutions_iter(
+            [forest, other], graph, processes=2, chunk_size=1
+        )
+        cell, mu = next(iterator)
+        assert cell == (0, 0) and mu in expected
+        rest = {}
+        for later_cell, later_mu in iterator:
+            rest.setdefault(later_cell, set()).add(later_mu)
+        assert rest[(0, 0)] == expected - {mu}
+        assert rest[(1, 0)] == Engine(forest=other).solutions(graph, method="natural")
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
+    @pytest.mark.parametrize("order", ["submitted", "completed"])
+    def test_parity_across_chunk_sizes(self, order, chunk_size):
+        graphs = [tprime_data_graph(6, 20, seed=11), tprime_data_graph(5, 15, seed=12)]
+        repeated = WDPatternForest([tprime_tree(2)])
+        patterns = [repeated, WDPatternForest([tprime_tree(3)]), repeated]
+        matrix = Session().solutions_many(patterns, graphs)
+        got = {}
+        for cell, mu in Session().solutions_iter(
+            patterns, graphs, order=order, processes=2, chunk_size=chunk_size
+        ):
+            got.setdefault(cell, set()).add(mu)
+        for i in range(len(patterns)):
+            for j in range(len(graphs)):
+                assert got.get((i, j), set()) == matrix[i][j], (order, chunk_size, i, j)
+
+    def test_session_default_chunk_size(self):
+        forest, graph = self._single_cell()
+        other = WDPatternForest([tprime_tree(3)])
+        session = Session(stream_chunk_size=2)
+        expected = Session().solutions_many([forest, other], graph)
+        got = {}
+        for cell, mu in session.solutions_iter([forest, other], graph, processes=2):
+            got.setdefault(cell, set()).add(mu)
+        assert [got.get((i, 0), set()) for i in range(2)] == expected
+
+    def test_invalid_chunk_sizes_rejected(self):
+        forest, graph = self._single_cell()
+        with pytest.raises(EvaluationError):
+            Session(stream_chunk_size=0)
+        with pytest.raises(EvaluationError):
+            next(Session().solutions_iter([forest], graph, processes=2, chunk_size=0))
+
+
+class TestMutationSafety:
+    """Version-snapshot regressions: a graph mutated mid-iteration (serial
+    or parallel) must never leave stale entries in the parent cache."""
+
+    def _mutate(self, graph):
+        graph.add(Triple.of(str(EX["fresh"]), str(EX["fresh"]), str(EX["fresh"])))
+
+    def _fresh_answers(self, forest, graph):
+        return Engine(forest=forest).solutions(graph, method="natural")
+
+    def test_serial_solutions_iter_mutation_between_cells(self):
+        graph = tprime_data_graph(6, 20, seed=25)
+        patterns = [WDPatternForest([tprime_tree(2)]), WDPatternForest([tprime_tree(3)])]
+        session = Session()
+        iterator = session.solutions_iter(patterns, graph)
+        seen = {}
+        mutated = False
+        for cell, mu in iterator:
+            if cell[0] == 1 and not mutated:
+                # First solution of the second cell: mutate before draining.
+                self._mutate(graph)
+                mutated = True
+            seen.setdefault(cell, set()).add(mu)
+        # The cache must answer for the graph as it is *now*: fresh
+        # enumerations replay nothing stale.
+        for i, forest in enumerate(patterns):
+            assert session.solutions(forest, graph) == self._fresh_answers(forest, graph)
+
+    def test_serial_solutions_iter_mutation_mid_cell_does_not_poison(self):
+        graph = tprime_data_graph(6, 20, seed=25)
+        forest = WDPatternForest([tprime_tree(2)])
+        session = Session()
+        iterator = session.solutions_iter([forest], graph)
+        next(iterator)
+        self._mutate(graph)  # mid-cell: the stream's recording must be aborted
+        for _ in iterator:
+            pass
+        (tree,) = list(forest)
+        assert session.cache.tree_solution_list(tree, graph) is None
+        assert session.solutions(forest, graph) == self._fresh_answers(forest, graph)
+
+    def test_parallel_solutions_iter_mutation_drops_stale_deltas(self):
+        graph = tprime_data_graph(7, 30, seed=27)
+        forest = WDPatternForest([tprime_tree(2)])
+        other = WDPatternForest([tprime_tree(3)])  # second distinct cell: pool engages
+        session = Session()
+        assert len(self._fresh_answers(forest, graph)) > 1
+        iterator = session.solutions_iter(
+            [forest, other], graph, processes=2, chunk_size=1
+        )
+        next(iterator)  # the front cell's first chunk is out; workers are mid-cell
+        self._mutate(graph)  # parent-side mutation; the workers' copies are stale
+        for _ in iterator:
+            pass
+        # The front cell's delta arrives after its last chunk — post-mutation
+        # by construction — stamped with the pre-mutation version: dropped
+        # whole, never merged.
+        assert session.cache.statistics.delta_entries_stale > 0
+        for tree in list(forest) + list(other):
+            assert session.cache.tree_solution_list(tree, graph) is None
+        assert session.solutions(forest, graph) == self._fresh_answers(forest, graph)
+        assert session.solutions(other, graph) == self._fresh_answers(other, graph)
+
+    def test_parallel_solutions_many_after_mutation_recomputes(self):
+        graph = tprime_data_graph(6, 20, seed=29)
+        patterns = [WDPatternForest([tprime_tree(2)]), WDPatternForest([tprime_tree(3)])]
+        session = Session()
+        session.solutions_many(patterns, graph, processes=2)  # absorb deltas
+        self._mutate(graph)
+        answers = session.solutions_many(patterns, graph, processes=2)
+        assert answers == [self._fresh_answers(forest, graph) for forest in patterns]
