@@ -12,6 +12,7 @@ from .homomorphism import (
     maps_into,
     extends_into,
     TargetIndex,
+    ColumnarTargetIndex,
     target_index,
 )
 from .core import core_of, is_core, is_core_of, hom_equivalent
@@ -41,6 +42,7 @@ __all__ = [
     "maps_into",
     "extends_into",
     "TargetIndex",
+    "ColumnarTargetIndex",
     "target_index",
     "core_of",
     "is_core",

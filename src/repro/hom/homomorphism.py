@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .tgraph import GeneralizedTGraph, TGraph
+from ..rdf.columns import scan_mask
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Term, Variable, is_ground_term
 from ..rdf.triples import TriplePattern
@@ -44,6 +45,7 @@ __all__ = [
     "extends_into",
     "homomorphism_count",
     "TargetIndex",
+    "ColumnarTargetIndex",
     "target_index",
 ]
 
@@ -113,6 +115,143 @@ class TargetIndex:
             yield binding
 
 
+class ColumnarTargetIndex(TargetIndex):
+    """A :class:`TargetIndex` over the sorted id-columns of an :class:`RDFGraph`.
+
+    Instead of materialising a hash map from every bound-position mask to
+    triple lists, this index snapshots the graph's three sorted permutation
+    columns (flushed copies — later mutations of the graph never leak in)
+    and answers :meth:`candidates` / :meth:`pattern_solutions` as binary-
+    search **range scans** in the integer id domain
+    (:func:`repro.rdf.columns.scan_mask`).  Building it is a few column
+    copies — O(n) ``memcpy``-speed, no per-triple hashing — and it shares
+    the graph's term dictionary (ids are never reassigned) and decoded-
+    triple memo, so terms and triples are materialised lazily, once.
+    """
+
+    __slots__ = (
+        "_bits",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_dict",
+        "_decoded",
+        "_terms_cache",
+        "_triples_cache",
+    )
+
+    def __init__(self, graph: RDFGraph) -> None:
+        (
+            self._bits,
+            self._spo,
+            self._pos,
+            self._osp,
+            self._dict,
+            self._decoded,
+        ) = graph._snapshot()
+        self._terms_cache: Optional[FrozenSet[Term]] = None
+        self._triples_cache: Optional[_TargetTriples] = None
+
+    # ``triples`` and ``terms`` shadow the base-class slots with lazily
+    # materialised views of the columns.
+    @property  # type: ignore[override]
+    def triples(self) -> _TargetTriples:
+        cached = self._triples_cache
+        if cached is None:
+            decode = self._decode
+            cached = frozenset(decode(key) for key in self._spo)
+            self._triples_cache = cached
+        return cached
+
+    @property  # type: ignore[override]
+    def terms(self) -> FrozenSet[Term]:
+        cached = self._terms_cache
+        if cached is None:
+            shift = 2 * self._bits
+            ids = {key >> shift for key in self._spo}
+            ids.update(key >> shift for key in self._pos)
+            ids.update(key >> shift for key in self._osp)
+            term_of = self._dict.term_of
+            cached = frozenset(term_of(i) for i in ids)
+            self._terms_cache = cached
+        return cached
+
+    def _decode(self, key: int) -> TriplePattern:
+        triple = self._decoded.get(key)
+        if triple is None:
+            bits = self._bits
+            mask = (1 << bits) - 1
+            term_of = self._dict.term_of
+            triple = TriplePattern(
+                term_of(key >> (2 * bits)),
+                term_of((key >> bits) & mask),
+                term_of(key & mask),
+            )
+            self._decoded[key] = triple
+        return triple
+
+    def _resolve(self, term: Optional[Term]) -> Optional[int]:
+        """The id of a bound term; ``-1`` when it cannot occur in the target."""
+        if term is None:
+            return None
+        term_id = self._dict.id_of(term)
+        return -1 if term_id is None else term_id
+
+    def candidates(
+        self, s: Optional[Term], p: Optional[Term], o: Optional[Term]
+    ) -> Iterable[TriplePattern]:
+        """Target triples agreeing with the bound positions (None = unbound)."""
+        si, pi, oi = self._resolve(s), self._resolve(p), self._resolve(o)
+        if -1 in (si, pi, oi):
+            return ()
+        decode = self._decode
+        return (
+            decode(key)
+            for _, key in scan_mask(self._bits, self._spo, self._pos, self._osp, si, pi, oi)
+        )
+
+    def pattern_solutions(
+        self,
+        pattern: TriplePattern,
+        fixed: Optional[Mapping[Variable, Term]] = None,
+    ) -> Iterator[Dict[Variable, Term]]:
+        """Bindings of the unbound variables of one triple pattern — a single
+        range scan over the permutation led by the bound positions, with the
+        repeated-variable check and the binding construction both done on
+        integer ids (terms are only materialised for the yielded bindings)."""
+        assignment: Mapping[Variable, Term] = fixed if fixed is not None else {}
+        id_of = self._dict.id_of
+        bound: List[Optional[int]] = []
+        unbound_positions: Dict[Variable, List[int]] = {}
+        for position, term in enumerate(pattern):
+            if isinstance(term, Variable):
+                value = assignment.get(term)
+                if value is None:
+                    unbound_positions.setdefault(term, []).append(position)
+                    bound.append(None)
+                    continue
+                term = value
+            term_id = id_of(term)
+            if term_id is None:
+                # A bound term the target never interned (or a non-ground
+                # fixed value): nothing in a ground target can match it.
+                return
+            bound.append(term_id)
+        groups = [ps for ps in unbound_positions.values() if len(ps) > 1]
+        term_of = self._dict.term_of
+        for ids, _ in scan_mask(
+            self._bits, self._spo, self._pos, self._osp, bound[0], bound[1], bound[2]
+        ):
+            if groups and any(
+                len({ids[position] for position in group}) != 1 for group in groups
+            ):
+                continue
+            yield {
+                var: term_of(ids[positions[0]])
+                for var, positions in unbound_positions.items()
+            }
+
+
 #: Backwards-compatible private alias.
 _TargetIndex = TargetIndex
 
@@ -120,11 +259,15 @@ _TargetIndex = TargetIndex
 def target_index(target: TGraph | RDFGraph | Iterable[TriplePattern]) -> TargetIndex:
     """Build a reusable :class:`TargetIndex` over *target*.
 
-    Building the index costs ``O(|target|)``; the search helpers accept a
-    prebuilt index via their ``index=`` parameter so that callers answering
-    many homomorphism queries against one target (notably the evaluation
-    cache) pay that cost only once.
+    RDF graphs get a :class:`ColumnarTargetIndex` riding directly on the
+    graph's sorted id-columns; t-graphs and raw triple iterables get the
+    hash-indexed :class:`TargetIndex`.  The search helpers accept a prebuilt
+    index via their ``index=`` parameter so that callers answering many
+    homomorphism queries against one target (notably the evaluation cache)
+    pay the construction cost only once.
     """
+    if isinstance(target, RDFGraph):
+        return ColumnarTargetIndex(target)
     return TargetIndex(_target_triples(target))
 
 
@@ -293,7 +436,7 @@ def all_homomorphisms(
     """
     source_triples = list(source.triples() if isinstance(source, TGraph) else source)
     if index is None:
-        index = TargetIndex(_target_triples(target))
+        index = target_index(target)
     fixed_dict: Dict[Variable, Term] = dict(fixed or {})
     source_vars: Set[Variable] = set()
     for t in source_triples:

@@ -3,6 +3,8 @@
 from .terms import IRI, Literal, Variable, Term, GroundTerm, is_ground_term
 from .triples import Triple, TriplePattern, triple, pattern, variables_of
 from .graph import RDFGraph
+from .dictionary import TermDictionary
+from .reference import ReferenceRDFGraph
 from .namespace import Namespace, EX, FOAF, RDF_NS, RDFS_NS
 from .io import parse_ntriples, serialize_ntriples, load_graph, save_graph
 from . import generators
@@ -20,6 +22,8 @@ __all__ = [
     "pattern",
     "variables_of",
     "RDFGraph",
+    "TermDictionary",
+    "ReferenceRDFGraph",
     "Namespace",
     "EX",
     "FOAF",

@@ -6,6 +6,9 @@ tests, the examples and the benchmark harness:
 
 * :func:`random_graph` — Erdős–Rényi style random triples over a fixed
   vocabulary;
+* :func:`power_law_graph` — Zipf-weighted endpoints, so node degrees follow
+  a power law with a few heavy hubs; the large-graph tier of the benchmark
+  harness draws 10⁵–10⁶ triples from it;
 * :func:`path_graph`, :func:`cycle_graph`, :func:`grid_graph`,
   :func:`clique_graph`, :func:`star_graph`, :func:`tree_graph` — structured
   graphs whose homomorphism behaviour is well understood;
@@ -13,12 +16,19 @@ tests, the examples and the benchmark harness:
   the social-network example and the evaluation benchmarks;
 * :func:`from_networkx` — import any (di)graph from networkx, labelling
   edges with a single predicate.
+
+The generators that scale (:func:`random_graph`, :func:`power_law_graph`,
+:func:`social_network_graph`, :func:`from_networkx`) materialise their triples
+first and bulk-load them through :meth:`RDFGraph.from_triples
+<repro.rdf.graph.RDFGraph.from_triples>`, which sorts each permutation column
+once instead of maintaining the indexes per insert.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Sequence
+from itertools import accumulate
+from typing import Iterable, List, Optional, Sequence
 
 import networkx as nx
 
@@ -29,6 +39,7 @@ from .triples import Triple
 
 __all__ = [
     "random_graph",
+    "power_law_graph",
     "path_graph",
     "cycle_graph",
     "grid_graph",
@@ -61,13 +72,51 @@ def random_graph(
     rng = random.Random(seed)
     nodes = [_node_iri(i) for i in range(num_nodes)]
     preds = [EX.term(p) for p in predicates]
-    graph = RDFGraph()
-    for _ in range(num_triples):
-        s = rng.choice(nodes)
-        p = rng.choice(preds)
-        o = rng.choice(nodes)
-        graph.add(Triple(s, p, o))
-    return graph
+    triples = [
+        Triple(rng.choice(nodes), rng.choice(preds), rng.choice(nodes))
+        for _ in range(num_triples)
+    ]
+    return RDFGraph.from_triples(triples)
+
+
+def power_law_graph(
+    num_nodes: int,
+    num_triples: int,
+    predicates: Sequence[str] = ("p", "q", "r"),
+    exponent: float = 2.0,
+    seed: Optional[int] = None,
+) -> RDFGraph:
+    """A random graph whose node degrees follow a power law.
+
+    Subjects and objects are drawn from a Zipf distribution over the nodes
+    (node ``i`` with weight ``(i + 1) ** -exponent``), so low-index nodes
+    become heavy hubs while the tail stays sparse — the degree profile of
+    real-world RDF data sets, and the stress profile for the columnar
+    store's range scans (hub predicates/subjects produce long runs).
+    Duplicate draws are allowed, so the result may contain fewer than
+    ``num_triples`` distinct triples.
+
+    The draws use :meth:`random.Random.choices` with precomputed cumulative
+    weights (binary search at C speed per draw) and the triples are bulk
+    loaded, so generating a million-triple graph takes seconds.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if num_triples < 0:
+        raise ValueError("num_triples must be non-negative")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    rng = random.Random(seed)
+    nodes = [_node_iri(i) for i in range(num_nodes)]
+    preds = [EX.term(p) for p in predicates]
+    cum_weights = list(accumulate((i + 1) ** -exponent for i in range(num_nodes)))
+    subjects = rng.choices(nodes, cum_weights=cum_weights, k=num_triples)
+    objects = rng.choices(nodes, cum_weights=cum_weights, k=num_triples)
+    chosen_preds = rng.choices(preds, k=num_triples)
+    return RDFGraph.from_triples(
+        Triple(s, p, o) for s, p, o in zip(subjects, chosen_preds, objects)
+    )
+
 
 def path_graph(length: int, predicate: str = "edge") -> RDFGraph:
     """A directed path ``n0 -edge-> n1 -edge-> ... -edge-> n_length``."""
@@ -184,20 +233,20 @@ def social_network_graph(
     if k % 2 == 1:
         k += 1
     social = nx.watts_strogatz_graph(num_people, k, 0.2, seed=seed)
-    graph = RDFGraph()
+    triples: List[Triple] = []
     people = [EX.term(f"person{i}") for i in range(num_people)]
     cities = [EX.term(f"city{i}") for i in range(city_count)]
     for i, person in enumerate(people):
-        graph.add(Triple(person, FOAF.name, EX.term(f"name{i}")))
-        graph.add(Triple(person, FOAF.basedNear, rng.choice(cities)))
+        triples.append(Triple(person, FOAF.name, EX.term(f"name{i}")))
+        triples.append(Triple(person, FOAF.basedNear, rng.choice(cities)))
         if rng.random() < email_probability:
-            graph.add(Triple(person, FOAF.mbox, EX.term(f"mailto_person{i}")))
+            triples.append(Triple(person, FOAF.mbox, EX.term(f"mailto_person{i}")))
         if rng.random() < phone_probability:
-            graph.add(Triple(person, FOAF.phone, EX.term(f"tel_person{i}")))
+            triples.append(Triple(person, FOAF.phone, EX.term(f"tel_person{i}")))
     for u, v in social.edges():
-        graph.add(Triple(people[u], FOAF.knows, people[v]))
-        graph.add(Triple(people[v], FOAF.knows, people[u]))
-    return graph
+        triples.append(Triple(people[u], FOAF.knows, people[v]))
+        triples.append(Triple(people[v], FOAF.knows, people[u]))
+    return RDFGraph.from_triples(triples)
 
 
 def from_networkx(
@@ -214,10 +263,10 @@ def from_networkx(
     directed = nx_graph.is_directed()
     if symmetric is None:
         symmetric = not directed
-    graph = RDFGraph()
+    triples: List[Triple] = []
     node_iris = {node: EX.term(f"v{node}") for node in nx_graph.nodes()}
     for u, v in nx_graph.edges():
-        graph.add(Triple(node_iris[u], pred, node_iris[v]))
+        triples.append(Triple(node_iris[u], pred, node_iris[v]))
         if symmetric:
-            graph.add(Triple(node_iris[v], pred, node_iris[u]))
-    return graph
+            triples.append(Triple(node_iris[v], pred, node_iris[u]))
+    return RDFGraph.from_triples(triples)

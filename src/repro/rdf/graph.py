@@ -1,28 +1,55 @@
-"""An in-memory, indexed RDF graph.
+"""An in-memory, interned, columnar RDF graph.
 
-:class:`RDFGraph` is a finite set of ground triples with hash indexes on
-every combination of bound positions, so that matching a single triple
-pattern against the graph is proportional to the number of matches rather
-than the size of the graph.  This is the data substrate every evaluation
-algorithm in the library runs on.
+:class:`RDFGraph` is a finite set of ground triples.  Internally every term
+is interned to a dense integer id through a per-graph
+:class:`~repro.rdf.dictionary.TermDictionary`, and the id-encoded triples are
+kept in three sorted permutation columns (SPO, POS, OSP — see
+:mod:`repro.rdf.columns`), so that
+
+* matching a triple pattern is a binary-search **range scan** over the
+  permutation whose sort order leads with the bound positions — every one of
+  the seven bound-position masks is a prefix of one of the three
+  permutations;
+* mutations are **incremental**: single inserts go to a small sorted buffer
+  that merges into the main runs, bulk loads
+  (:meth:`RDFGraph.from_triples` / :meth:`add_all`) sort the batch once and
+  merge once, and deletions splice one key out of each run — the indexes are
+  patched in place, never rebuilt from scratch;
+* ``dom(G)`` reads the term dictionary directly (terms with a live
+  occurrence count), instead of re-scanning every triple.
+
+The public API — :class:`Triple` objects in and out, the pattern-matching
+:meth:`matches`/:meth:`solutions`, and the :attr:`version` counter that the
+evaluation caches key on — is unchanged from the hash-indexed store this
+replaces (retained as :class:`repro.rdf.reference.ReferenceRDFGraph` for the
+differential parity suite).  One deliberate refinement: a *bulk* mutation
+(:meth:`add_all`, :meth:`from_triples`, the constructor) bumps
+:attr:`version` **once**, not once per triple, so a single bulk load no
+longer invalidates warm caches N times over.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .columns import ARRAY_BITS_LIMIT, SortedKeyRun, scan_mask
+from .dictionary import TermDictionary
 from .terms import GroundTerm, IRI, Literal, Term, Variable, is_ground_term
 from .triples import Triple, TriplePattern
 from ..exceptions import RDFError
 
 __all__ = ["RDFGraph"]
 
-_Key = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+#: Initial per-field bit width of the packed keys; the graph widens (doubling
+#: the width, switching the runs from ``array('q')`` to plain int lists past
+#: :data:`~repro.rdf.columns.ARRAY_BITS_LIMIT`) when the dictionary outgrows
+#: it.  Module-level so the parity tests can force the widening path on
+#: small graphs.
+_INITIAL_BITS = ARRAY_BITS_LIMIT
 
 
 class RDFGraph:
-    """A finite set of ground RDF triples with pattern-matching indexes.
+    """A finite set of ground RDF triples with columnar pattern indexes.
 
     >>> g = RDFGraph()
     >>> _ = g.add(Triple.of("a", "p", "b"))
@@ -33,98 +60,247 @@ class RDFGraph:
     """
 
     __slots__ = (
-        "_triples",
-        "_by_s",
-        "_by_p",
-        "_by_o",
-        "_by_sp",
-        "_by_po",
-        "_by_so",
+        "_dict",
+        "_bits",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_counts",
+        "_decoded",
         "_version",
         "_domain_cache",
         "_sorted_domain_cache",
+        "_triples_cache",
         "__weakref__",
     )
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
-        self._triples: Set[Triple] = set()
-        self._by_s: Dict[Term, Set[Triple]] = defaultdict(set)
-        self._by_p: Dict[Term, Set[Triple]] = defaultdict(set)
-        self._by_o: Dict[Term, Set[Triple]] = defaultdict(set)
-        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
-        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
-        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._dict = TermDictionary()
+        self._bits = _INITIAL_BITS
+        self._spo = SortedKeyRun(self._bits)
+        self._pos = SortedKeyRun(self._bits)
+        self._osp = SortedKeyRun(self._bits)
+        self._counts: List[int] = []
+        # Packed-SPO-key -> decoded Triple memo, shared (by reference) with
+        # the columnar target indexes snapshotted off this graph.  Replaced
+        # wholesale on widening: old snapshots keep the old-width dict.
+        self._decoded: Dict[int, Triple] = {}
         self._version = 0
         self._domain_cache: Optional[Tuple[int, frozenset]] = None
         self._sorted_domain_cache: Optional[Tuple[int, Tuple[GroundTerm, ...]]] = None
-        for t in triples:
-            self.add(t)
+        self._triples_cache: Optional[Tuple[int, FrozenSet[Triple]]] = None
+        if triples:
+            self.add_all(triples)
 
     # --- construction -----------------------------------------------------
     @classmethod
     def from_tuples(cls, tuples: Iterable[Tuple[object, object, object]]) -> "RDFGraph":
         """Build a graph from ``(s, p, o)`` tuples of terms or plain strings."""
-        graph = cls()
-        for s, p, o in tuples:
-            graph.add(Triple.of(s, p, o))
-        return graph
+        return cls(Triple.of(s, p, o) for s, p, o in tuples)
 
-    def add(self, triple: Triple) -> "RDFGraph":
-        """Add a ground triple.  Returns ``self`` for chaining."""
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "RDFGraph":
+        """Bulk-load a graph: intern every term, sort each permutation once.
+
+        This is the loader for large graphs — identical result to adding the
+        triples one by one, but the columns are sorted once instead of
+        maintained per insert, and :attr:`version` is bumped once.
+        """
+        return cls(triples)
+
+    def _validate(self, triple: Triple) -> None:
         if not isinstance(triple, TriplePattern):
             raise TypeError(f"expected a Triple, got {type(triple).__name__}")
         if not triple.is_ground():
             raise RDFError(f"cannot add non-ground triple {triple} to an RDF graph")
-        if triple in self._triples:
+
+    def _intern_triple(self, triple: Triple) -> Tuple[int, int, int]:
+        intern = self._dict.intern
+        return (intern(triple.subject), intern(triple.predicate), intern(triple.object))
+
+    def _ensure_capacity(self) -> None:
+        """Widen the packed representation when the dictionary outgrew it."""
+        while len(self._dict) > (1 << self._bits):
+            new_bits = self._bits * 2
+            for run in (self._spo, self._pos, self._osp):
+                run.widen(self._bits, new_bits)
+            self._bits = new_bits
+            self._decoded = {}
+
+    def _pack(self, a: int, b: int, c: int) -> int:
+        bits = self._bits
+        return (a << (2 * bits)) | (b << bits) | c
+
+    def add(self, triple: Triple) -> "RDFGraph":
+        """Add a ground triple.  Returns ``self`` for chaining."""
+        self._validate(triple)
+        s, p, o = self._intern_triple(triple)
+        self._ensure_capacity()
+        key = self._pack(s, p, o)
+        if key in self._spo:
             return self
-        self._triples.add(triple)
         self._version += 1
-        s, p, o = triple.subject, triple.predicate, triple.object
-        self._by_s[s].add(triple)
-        self._by_p[p].add(triple)
-        self._by_o[o].add(triple)
-        self._by_sp[(s, p)].add(triple)
-        self._by_po[(p, o)].add(triple)
-        self._by_so[(s, o)].add(triple)
+        self._insert_ids(key, s, p, o)
         return self
 
+    def _insert_ids(self, spo_key: int, s: int, p: int, o: int) -> None:
+        self._spo.add(spo_key)
+        self._pos.add(self._pack(p, o, s))
+        self._osp.add(self._pack(o, s, p))
+        counts = self._counts
+        grow = max(s, p, o) + 1 - len(counts)
+        if grow > 0:
+            counts.extend([0] * grow)
+        counts[s] += 1
+        counts[p] += 1
+        counts[o] += 1
+
     def add_all(self, triples: Iterable[Triple]) -> "RDFGraph":
-        """Add every triple of *triples*."""
+        """Add every triple of *triples* as **one bulk mutation**.
+
+        Every term is interned, the batch is deduplicated against the graph
+        and itself, each permutation column is sorted once and merged into
+        its run once — and :attr:`version` is bumped **once** (when at least
+        one triple was actually new), so a bulk load invalidates warm caches
+        a single time instead of once per triple.
+        """
+        interned: List[Tuple[int, int, int]] = []
         for t in triples:
-            self.add(t)
+            self._validate(t)
+            interned.append(self._intern_triple(t))
+        if not interned:
+            return self
+        self._ensure_capacity()
+        pack = self._pack
+        spo = self._spo
+        new_keys: List[int] = []
+        new_ids: List[Tuple[int, int, int]] = []
+        seen: set = set()
+        for s, p, o in interned:
+            key = pack(s, p, o)
+            if key in seen or key in spo:
+                continue
+            seen.add(key)
+            new_keys.append(key)
+            new_ids.append((s, p, o))
+        if not new_keys:
+            return self
+        self._version += 1
+        new_keys.sort()
+        spo.extend_sorted(new_keys)
+        self._pos.extend_sorted(sorted(pack(p, o, s) for s, p, o in new_ids))
+        self._osp.extend_sorted(sorted(pack(o, s, p) for s, p, o in new_ids))
+        counts = self._counts
+        top = max(max(ids) for ids in new_ids) + 1
+        if top > len(counts):
+            counts.extend([0] * (top - len(counts)))
+        for s, p, o in new_ids:
+            counts[s] += 1
+            counts[p] += 1
+            counts[o] += 1
         return self
 
     def discard(self, triple: Triple) -> "RDFGraph":
-        """Remove a triple if present."""
-        if triple not in self._triples:
+        """Remove a triple if present (splices one key out of each column)."""
+        if not isinstance(triple, TriplePattern) or not triple.is_ground():
             return self
-        self._triples.discard(triple)
+        id_of = self._dict.id_of
+        s = id_of(triple.subject)
+        p = id_of(triple.predicate)
+        o = id_of(triple.object)
+        if s is None or p is None or o is None:
+            return self
+        key = self._pack(s, p, o)
+        if key not in self._spo:
+            return self
         self._version += 1
-        s, p, o = triple.subject, triple.predicate, triple.object
-        self._by_s[s].discard(triple)
-        self._by_p[p].discard(triple)
-        self._by_o[o].discard(triple)
-        self._by_sp[(s, p)].discard(triple)
-        self._by_po[(p, o)].discard(triple)
-        self._by_so[(s, o)].discard(triple)
+        self._spo.remove(key)
+        self._pos.remove(self._pack(p, o, s))
+        self._osp.remove(self._pack(o, s, p))
+        counts = self._counts
+        counts[s] -= 1
+        counts[p] -= 1
+        counts[o] -= 1
+        self._decoded.pop(key, None)
         return self
 
     def copy(self) -> "RDFGraph":
-        """A shallow copy (triples are immutable, so this is a full copy)."""
-        return RDFGraph(self._triples)
+        """An independent copy (column and dictionary state is copied; the
+        immutable terms and decoded triples are shared)."""
+        result = RDFGraph.__new__(RDFGraph)
+        result._dict = self._dict.copy()
+        result._bits = self._bits
+        result._spo = self._spo.copy()
+        result._pos = self._pos.copy()
+        result._osp = self._osp.copy()
+        result._counts = list(self._counts)
+        result._decoded = dict(self._decoded)
+        result._version = self._version
+        result._domain_cache = None
+        result._sorted_domain_cache = None
+        result._triples_cache = None
+        return result
 
     @property
     def version(self) -> int:
-        """A counter incremented on every mutation (add/discard of a triple).
+        """A counter incremented on every *mutation* of the graph.
 
-        Evaluation caches key their per-graph entries on this counter, so any
-        mutation of the graph transparently invalidates everything cached for
-        it (see :class:`repro.evaluation.cache.EvaluationCache`).
+        ``add`` / ``discard`` of a triple bump it by one; a bulk mutation
+        (:meth:`add_all`, :meth:`from_triples`, the constructor) bumps it by
+        one for the whole batch.  Mutations that change nothing (duplicate
+        adds, discards of absent triples, empty batches) do not bump it.
+        Evaluation caches key their per-graph entries on this counter, so
+        any mutation transparently invalidates everything cached for the
+        graph (see :class:`repro.evaluation.cache.EvaluationCache`).
         """
         return self._version
 
     def __reduce__(self):
-        return (RDFGraph, (tuple(self._triples),))
+        self._spo.flush()
+        self._pos.flush()
+        self._osp.flush()
+        return (
+            RDFGraph._restore,
+            (
+                tuple(self._dict),
+                self._bits,
+                self._spo.snapshot(),
+                self._pos.snapshot(),
+                self._osp.snapshot(),
+                tuple(self._counts),
+                self._version,
+            ),
+        )
+
+    @classmethod
+    def _restore(
+        cls,
+        terms: Sequence[GroundTerm],
+        bits: int,
+        spo: Sequence[int],
+        pos: Sequence[int],
+        osp: Sequence[int],
+        counts: Sequence[int],
+        version: int,
+    ) -> "RDFGraph":
+        """Rebuild from pickled column state (keys are already sorted), so a
+        million-triple graph unpickles without re-sorting or re-interning."""
+        result = cls.__new__(cls)
+        dictionary = TermDictionary()
+        for term in terms:
+            dictionary.intern(term)
+        result._dict = dictionary
+        result._bits = bits
+        result._spo = SortedKeyRun(bits, spo)
+        result._pos = SortedKeyRun(bits, pos)
+        result._osp = SortedKeyRun(bits, osp)
+        result._counts = list(counts)
+        result._decoded = {}
+        result._version = version
+        result._domain_cache = None
+        result._sorted_domain_cache = None
+        result._triples_cache = None
+        return result
 
     def union(self, other: "RDFGraph") -> "RDFGraph":
         """A new graph containing the triples of both graphs."""
@@ -134,42 +310,74 @@ class RDFGraph:
 
     # --- container protocol -------------------------------------------------
     def __contains__(self, triple: object) -> bool:
-        return triple in self._triples
+        if not isinstance(triple, TriplePattern) or not triple.is_ground():
+            return False
+        id_of = self._dict.id_of
+        s = id_of(triple.subject)
+        p = id_of(triple.predicate)
+        o = id_of(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        return self._pack(s, p, o) in self._spo
+
+    def _decode(self, key: int) -> Triple:
+        """The :class:`Triple` for one packed SPO key (memoized; terms are
+        the interned instances, so decoded triples share term objects)."""
+        triple = self._decoded.get(key)
+        if triple is None:
+            bits = self._bits
+            mask = (1 << bits) - 1
+            term_of = self._dict.term_of
+            triple = TriplePattern(
+                term_of(key >> (2 * bits)),
+                term_of((key >> bits) & mask),
+                term_of(key & mask),
+            )
+            self._decoded[key] = triple
+        return triple
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        decode = self._decode
+        for key in self._spo:
+            yield decode(key)
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._spo)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, RDFGraph) and self._triples == other._triples
+        if not isinstance(other, RDFGraph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return self.triples() == other.triples()
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._triples))
+        return hash(self.triples())
 
     def __repr__(self) -> str:
         return f"RDFGraph(<{len(self)} triples>)"
 
     # --- queries --------------------------------------------------------------
     def triples(self) -> FrozenSet[Triple]:
-        """The triples as a frozen set."""
-        return frozenset(self._triples)
+        """The triples as a frozen set (memoized per :attr:`version`)."""
+        cached = self._triples_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        frozen = frozenset(self)
+        self._triples_cache = (self._version, frozen)
+        return frozen
 
-    def domain(self) -> frozenset[GroundTerm]:
-        """``dom(G)``: the ground terms appearing in any position of any triple.
-
-        Memoized per :attr:`version` — the pebble game asks for the domain on
-        every invocation, so re-scanning every triple each time would dominate
-        small instances.  Any mutation transparently drops the memo.
-        """
+    def domain(self) -> frozenset:
+        """``dom(G)``: the ground terms appearing in any position of any
+        triple — read straight off the term dictionary's occurrence counts
+        (memoized per :attr:`version`)."""
         cached = self._domain_cache
         if cached is not None and cached[0] == self._version:
             return cached[1]
-        result: set[GroundTerm] = set()
-        for t in self._triples:
-            result.update(t.constants())
-        frozen = frozenset(result)
+        term_of = self._dict.term_of
+        frozen = frozenset(
+            term_of(term_id) for term_id, count in enumerate(self._counts) if count > 0
+        )
         self._domain_cache = (self._version, frozen)
         return frozen
 
@@ -186,31 +394,66 @@ class RDFGraph:
         self._sorted_domain_cache = (self._version, ordered)
         return ordered
 
-    def subjects(self) -> frozenset[Term]:
+    def _position_ids(self, run: SortedKeyRun) -> Iterator[int]:
+        """Distinct leading-field ids of one permutation run."""
+        shift = 2 * self._bits
+        seen = set()
+        for key in run:
+            seen.add(key >> shift)
+        return iter(seen)
+
+    def subjects(self) -> frozenset:
         """All subjects occurring in the graph."""
-        return frozenset(t.subject for t in self._triples)
+        term_of = self._dict.term_of
+        return frozenset(term_of(i) for i in self._position_ids(self._spo))
 
-    def predicates(self) -> frozenset[Term]:
+    def predicates(self) -> frozenset:
         """All predicates occurring in the graph."""
-        return frozenset(t.predicate for t in self._triples)
+        term_of = self._dict.term_of
+        return frozenset(term_of(i) for i in self._position_ids(self._pos))
 
-    def objects(self) -> frozenset[Term]:
+    def objects(self) -> frozenset:
         """All objects occurring in the graph."""
-        return frozenset(t.object for t in self._triples)
+        term_of = self._dict.term_of
+        return frozenset(term_of(i) for i in self._position_ids(self._osp))
 
     def matches(self, pattern: TriplePattern) -> Iterator[Triple]:
         """Iterate over the ground triples matching *pattern*.
 
         Positions holding variables match anything; repeated variables in the
-        pattern must be matched by equal terms.
+        pattern must be matched by equal terms.  One range scan over the
+        permutation column whose sort order leads with the bound positions.
         """
-        s = pattern.subject if is_ground_term(pattern.subject) else None
-        p = pattern.predicate if is_ground_term(pattern.predicate) else None
-        o = pattern.object if is_ground_term(pattern.object) else None
-        candidates = self._candidates(s, p, o)
-        for t in candidates:
-            if self._unifies(pattern, t):
-                yield t
+        id_of = self._dict.id_of
+        bound: List[Optional[int]] = []
+        for term in pattern:
+            if is_ground_term(term):
+                term_id = id_of(term)
+                if term_id is None:
+                    return
+                bound.append(term_id)
+            else:
+                bound.append(None)
+        # Positions sharing a repeated variable must decode to equal ids.
+        var_groups: Dict[Variable, List[int]] = {}
+        for position, term in enumerate(pattern):
+            if isinstance(term, Variable):
+                var_groups.setdefault(term, []).append(position)
+        groups = [positions for positions in var_groups.values() if len(positions) > 1]
+        decode = self._decode
+        for ids, spo_key in self._scan_ids(bound[0], bound[1], bound[2]):
+            if groups and any(
+                len({ids[position] for position in group}) != 1 for group in groups
+            ):
+                continue
+            yield decode(spo_key)
+
+    def _scan_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> Iterator[Tuple[Tuple[int, int, int], int]]:
+        """Yield ``((s, p, o), packed_spo_key)`` for the bound-position mask,
+        as one range scan over the permutation led by the bound positions."""
+        return scan_mask(self._bits, self._spo, self._pos, self._osp, s, p, o)
 
     def solutions(self, pattern: TriplePattern) -> Iterator[Dict[Variable, GroundTerm]]:
         """Iterate over variable bindings ``µ`` with ``µ(pattern) ∈ G``.
@@ -220,48 +463,27 @@ class RDFGraph:
         """
         for t in self.matches(pattern):
             binding: Dict[Variable, GroundTerm] = {}
-            ok = True
             for pat_term, data_term in zip(pattern, t):
                 if isinstance(pat_term, Variable):
-                    existing = binding.get(pat_term)
-                    if existing is not None and existing != data_term:
-                        ok = False
-                        break
                     binding[pat_term] = data_term
-            if ok:
-                yield binding
+            yield binding
 
-    # --- internals --------------------------------------------------------------
-    def _candidates(self, s: Optional[Term], p: Optional[Term], o: Optional[Term]) -> Iterable[Triple]:
-        """Pick the most selective index for the bound positions."""
-        if s is not None and p is not None and o is not None:
-            t = Triple(s, p, o)
-            return (t,) if t in self._triples else ()
-        if s is not None and p is not None:
-            return self._by_sp.get((s, p), ())
-        if p is not None and o is not None:
-            return self._by_po.get((p, o), ())
-        if s is not None and o is not None:
-            return self._by_so.get((s, o), ())
-        if s is not None:
-            return self._by_s.get(s, ())
-        if p is not None:
-            return self._by_p.get(p, ())
-        if o is not None:
-            return self._by_o.get(o, ())
-        return self._triples
+    # --- snapshots for target indexes ----------------------------------------
+    def _snapshot(self):
+        """Flushed copies of the columns + shared dictionary and decode memo.
 
-    @staticmethod
-    def _unifies(pattern: TriplePattern, data: Triple) -> bool:
-        """Check that *data* matches *pattern* including repeated variables."""
-        binding: Dict[Variable, Term] = {}
-        for pat_term, data_term in zip(pattern, data):
-            if isinstance(pat_term, Variable):
-                bound = binding.get(pat_term)
-                if bound is None:
-                    binding[pat_term] = data_term
-                elif bound != data_term:
-                    return False
-            elif pat_term != data_term:
-                return False
-        return True
+        Consumed by :class:`~repro.hom.homomorphism.ColumnarTargetIndex`:
+        the copies freeze the triple set at the current version (later graph
+        mutations never leak into a built index), while the dictionary is
+        shared safely because ids are never reassigned, and the decode memo
+        is shared because the graph *replaces* (never mutates in place) that
+        dict when the key width changes.
+        """
+        return (
+            self._bits,
+            self._spo.copy(),
+            self._pos.copy(),
+            self._osp.copy(),
+            self._dict,
+            self._decoded,
+        )

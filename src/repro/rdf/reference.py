@@ -1,0 +1,251 @@
+"""The retained hash-indexed RDF graph — the differential-testing oracle.
+
+This is the pre-columnar :class:`~repro.rdf.graph.RDFGraph` implementation
+(hash indexes on every combination of bound positions), kept verbatim as
+:class:`ReferenceRDFGraph` so the parity suite
+(``tests/test_store_parity.py``) can pin the columnar store to the old
+semantics: identical triple sets, identical ``matches``/``solutions``,
+identical ``domain()``/``sorted_domain()``, identical homomorphism answer
+sets, and identical :attr:`version` trajectories over arbitrary mutation
+sequences.
+
+The one deliberate deviation from the historical code: :meth:`add_all`
+bumps :attr:`version` once per batch (not once per triple), mirroring the
+bulk-mutation semantics the columnar store defines — the parity suite
+asserts the two stores agree on the version counter after every operation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from .terms import GroundTerm, Term, Variable, is_ground_term
+from .triples import Triple, TriplePattern
+from ..exceptions import RDFError
+
+__all__ = ["ReferenceRDFGraph"]
+
+
+class ReferenceRDFGraph:
+    """A finite set of ground RDF triples with hash pattern indexes."""
+
+    __slots__ = (
+        "_triples",
+        "_by_s",
+        "_by_p",
+        "_by_o",
+        "_by_sp",
+        "_by_po",
+        "_by_so",
+        "_version",
+        "_domain_cache",
+        "_sorted_domain_cache",
+        "__weakref__",
+    )
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: Set[Triple] = set()
+        self._by_s: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_p: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_o: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = defaultdict(set)
+        self._version = 0
+        self._domain_cache: Optional[Tuple[int, frozenset]] = None
+        self._sorted_domain_cache: Optional[Tuple[int, Tuple[GroundTerm, ...]]] = None
+        if triples:
+            self.add_all(triples)
+
+    # --- construction -----------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls, tuples: Iterable[Tuple[object, object, object]]
+    ) -> "ReferenceRDFGraph":
+        """Build a graph from ``(s, p, o)`` tuples of terms or plain strings."""
+        return cls(Triple.of(s, p, o) for s, p, o in tuples)
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "ReferenceRDFGraph":
+        """Bulk loader (API parity with the columnar store)."""
+        return cls(triples)
+
+    def _insert(self, triple: Triple) -> bool:
+        """Index one triple; ``True`` when it was new (no version bump)."""
+        if not isinstance(triple, TriplePattern):
+            raise TypeError(f"expected a Triple, got {type(triple).__name__}")
+        if not triple.is_ground():
+            raise RDFError(f"cannot add non-ground triple {triple} to an RDF graph")
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        self._by_s[s].add(triple)
+        self._by_p[p].add(triple)
+        self._by_o[o].add(triple)
+        self._by_sp[(s, p)].add(triple)
+        self._by_po[(p, o)].add(triple)
+        self._by_so[(s, o)].add(triple)
+        return True
+
+    def add(self, triple: Triple) -> "ReferenceRDFGraph":
+        """Add a ground triple.  Returns ``self`` for chaining."""
+        if self._insert(triple):
+            self._version += 1
+        return self
+
+    def add_all(self, triples: Iterable[Triple]) -> "ReferenceRDFGraph":
+        """Add every triple of *triples* as one bulk mutation (one version
+        bump when at least one triple was new — see the module docs)."""
+        added = False
+        for t in triples:
+            added = self._insert(t) or added
+        if added:
+            self._version += 1
+        return self
+
+    def discard(self, triple: Triple) -> "ReferenceRDFGraph":
+        """Remove a triple if present."""
+        if triple not in self._triples:
+            return self
+        self._triples.discard(triple)
+        self._version += 1
+        s, p, o = triple.subject, triple.predicate, triple.object
+        self._by_s[s].discard(triple)
+        self._by_p[p].discard(triple)
+        self._by_o[o].discard(triple)
+        self._by_sp[(s, p)].discard(triple)
+        self._by_po[(p, o)].discard(triple)
+        self._by_so[(s, o)].discard(triple)
+        return self
+
+    def copy(self) -> "ReferenceRDFGraph":
+        """A shallow copy (triples are immutable, so this is a full copy)."""
+        return ReferenceRDFGraph(self._triples)
+
+    @property
+    def version(self) -> int:
+        """The mutation counter (same semantics as the columnar store)."""
+        return self._version
+
+    def __reduce__(self):
+        return (ReferenceRDFGraph, (tuple(self._triples),))
+
+    def union(self, other: "ReferenceRDFGraph") -> "ReferenceRDFGraph":
+        """A new graph containing the triples of both graphs."""
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    # --- container protocol -------------------------------------------------
+    def __contains__(self, triple: object) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReferenceRDFGraph) and self._triples == other._triples
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._triples))
+
+    def __repr__(self) -> str:
+        return f"ReferenceRDFGraph(<{len(self)} triples>)"
+
+    # --- queries --------------------------------------------------------------
+    def triples(self) -> FrozenSet[Triple]:
+        """The triples as a frozen set."""
+        return frozenset(self._triples)
+
+    def domain(self) -> frozenset:
+        """``dom(G)`` by scanning every triple (memoized per version)."""
+        cached = self._domain_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        result: set = set()
+        for t in self._triples:
+            result.update(t.constants())
+        frozen = frozenset(result)
+        self._domain_cache = (self._version, frozen)
+        return frozen
+
+    def sorted_domain(self) -> Tuple[GroundTerm, ...]:
+        """``dom(G)`` sorted by string form (memoized per version)."""
+        cached = self._sorted_domain_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        ordered = tuple(sorted(self.domain(), key=str))
+        self._sorted_domain_cache = (self._version, ordered)
+        return ordered
+
+    def subjects(self) -> frozenset:
+        """All subjects occurring in the graph."""
+        return frozenset(t.subject for t in self._triples)
+
+    def predicates(self) -> frozenset:
+        """All predicates occurring in the graph."""
+        return frozenset(t.predicate for t in self._triples)
+
+    def objects(self) -> frozenset:
+        """All objects occurring in the graph."""
+        return frozenset(t.object for t in self._triples)
+
+    def matches(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Iterate over the ground triples matching *pattern*."""
+        s = pattern.subject if is_ground_term(pattern.subject) else None
+        p = pattern.predicate if is_ground_term(pattern.predicate) else None
+        o = pattern.object if is_ground_term(pattern.object) else None
+        for t in self._candidates(s, p, o):
+            if self._unifies(pattern, t):
+                yield t
+
+    def solutions(self, pattern: TriplePattern) -> Iterator[Dict[Variable, GroundTerm]]:
+        """Iterate over variable bindings ``µ`` with ``µ(pattern) ∈ G``."""
+        for t in self.matches(pattern):
+            binding: Dict[Variable, GroundTerm] = {}
+            for pat_term, data_term in zip(pattern, t):
+                if isinstance(pat_term, Variable):
+                    binding[pat_term] = data_term
+            yield binding
+
+    # --- internals --------------------------------------------------------------
+    def _candidates(
+        self, s: Optional[Term], p: Optional[Term], o: Optional[Term]
+    ) -> Iterable[Triple]:
+        """Pick the most selective index for the bound positions."""
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            return (t,) if t in self._triples else ()
+        if s is not None and p is not None:
+            return self._by_sp.get((s, p), ())
+        if p is not None and o is not None:
+            return self._by_po.get((p, o), ())
+        if s is not None and o is not None:
+            return self._by_so.get((s, o), ())
+        if s is not None:
+            return self._by_s.get(s, ())
+        if p is not None:
+            return self._by_p.get(p, ())
+        if o is not None:
+            return self._by_o.get(o, ())
+        return self._triples
+
+    @staticmethod
+    def _unifies(pattern: TriplePattern, data: Triple) -> bool:
+        """Check that *data* matches *pattern* including repeated variables."""
+        binding: Dict[Variable, Term] = {}
+        for pat_term, data_term in zip(pattern, data):
+            if isinstance(pat_term, Variable):
+                bound = binding.get(pat_term)
+                if bound is None:
+                    binding[pat_term] = data_term
+                elif bound != data_term:
+                    return False
+            elif pat_term != data_term:
+                return False
+        return True

@@ -14,6 +14,7 @@ class TestDiscovery:
         found = {script.name: record for script, record, _smoke in bench_all.discover()}
         assert found["bench_pebble_kernel.py"] == "BENCH_pebble_kernel.json"
         assert found["bench_session_enumeration.py"] == "BENCH_session_enumeration.json"
+        assert found["bench_large_graph.py"] == "BENCH_large_graph.json"
 
     def test_discovered_benchmarks_support_smoke_mode(self):
         """CI runs the driver without --full; every discovered script must

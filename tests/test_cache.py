@@ -459,3 +459,27 @@ class TestCacheDelta:
         # Bounded absorption stays answer-preserving.
         answers = Engine(forest=forest, cache=bounded).solutions(graph, method="natural")
         assert answers == Engine(forest=forest).solutions(graph, method="natural")
+
+    def test_bulk_mutation_stamp_rejects_the_delta_whole(self):
+        """A single add_all (one version bump for the batch) is enough to
+        stamp-out a delta exported before it."""
+        graph = random_graph(6, 25, seed=23)
+        forest = fk_forest(2)
+        trees = list(forest)
+        worker = self._enumerated_cache(graph, forest)
+        delta = worker.export_delta([graph], trees, [graph.version])
+        assert delta is not None
+
+        parent = EvaluationCache()
+        version = graph.version
+        graph.add_all(
+            Triple.of(str(EX[f"bulk{i}"]), str(EX["bulk"]), str(EX["bulk"]))
+            for i in range(4)
+        )
+        assert graph.version == version + 1
+        assert parent.absorb(delta, [graph], trees) == 0
+        assert parent.statistics.delta_entries_stale == len(delta)
+        for tree in trees:
+            assert parent.tree_solution_list(tree, graph) is None
+        answers = Engine(forest=forest, cache=parent).solutions(graph, method="natural")
+        assert answers == Engine(forest=forest).solutions(graph, method="natural")

@@ -60,7 +60,6 @@ class TestPaperFigures:
 
 
 class TestCliqueReductionDemo:
-    @pytest.mark.slow
     def test_demo_building_blocks_run(self, capsys):
         """Run a reduced version of the demo (k = 2 only) to keep the suite fast."""
         module = _load_example("clique_reduction_demo.py")

@@ -10,6 +10,7 @@ from repro.rdf.generators import (
     from_networkx,
     grid_graph,
     path_graph,
+    power_law_graph,
     random_graph,
     social_network_graph,
     star_graph,
@@ -94,3 +95,68 @@ class TestFromNetworkx:
         digraph = nx.DiGraph([(0, 1)])
         g = from_networkx(digraph, predicate="edge")
         assert len(g) == 1
+
+
+class TestPowerLawGraphs:
+    def test_power_law_is_seeded(self):
+        assert power_law_graph(200, 600, seed=3) == power_law_graph(200, 600, seed=3)
+
+    def test_power_law_seeds_differ(self):
+        assert power_law_graph(200, 600, seed=3) != power_law_graph(200, 600, seed=4)
+
+    def test_power_law_respects_vocabulary(self):
+        g = power_law_graph(50, 200, predicates=("p",), seed=1)
+        assert g.predicates() == {EX.term("p")}
+
+    def test_power_law_degree_distribution_is_skewed(self):
+        """The Zipf endpoints must produce hub nodes: the top degree has to
+        dwarf the median degree (no uniform generator does this)."""
+        from collections import Counter
+
+        g = power_law_graph(500, 5000, seed=7)
+        degree = Counter()
+        for t in g:
+            degree[t.subject] += 1
+            degree[t.object] += 1
+        ordered = sorted(degree.values())
+        median = ordered[len(ordered) // 2]
+        assert degree[EX.term("node0")] == max(degree.values())
+        assert max(degree.values()) >= 10 * median
+
+    def test_power_law_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            power_law_graph(0, 5)
+        with pytest.raises(ValueError):
+            power_law_graph(5, -1)
+        with pytest.raises(ValueError):
+            power_law_graph(5, 5, exponent=0.0)
+
+    def test_scalable_generators_bulk_load_in_one_version_bump(self):
+        assert power_law_graph(50, 200, seed=1).version == 1
+        assert random_graph(10, 30, seed=5).version == 1
+        assert social_network_graph(10, seed=1).version == 1
+        assert from_networkx(nx.path_graph(3)).version == 1
+
+
+@pytest.mark.slow
+class TestLargeGraphSmoke:
+    """Tier-2 smoke: a 10^5-triple power-law graph must load and answer one
+    membership query through every evaluation engine."""
+
+    def test_load_and_answer_membership_per_engine(self):
+        from repro.evaluation import Session
+        from repro.rdf.terms import Variable
+        from repro.sparql import Mapping, parse_pattern
+
+        g = power_law_graph(40_000, 175_000, exponent=1.1, seed=13)
+        assert len(g) >= 100_000
+
+        t = next(iter(g))
+        pattern = parse_pattern(f"(?x <{t.predicate.value}> ?y)")
+        x, y = Variable("x"), Variable("y")
+        present = Mapping({x: t.subject, y: t.object})
+        absent = Mapping({x: EX.term("nowhere"), y: t.object})
+        session = Session()
+        for method in ("natural", "pebble", "auto"):
+            assert session.check(pattern, g, present, method=method) is True
+            assert session.check(pattern, g, absent, method=method) is False

@@ -111,3 +111,72 @@ class TestMatching:
     def test_solutions_repeated_variable(self, small_graph):
         solutions = list(small_graph.solutions(TriplePattern.of("?x", EX.r, "?x")))
         assert solutions == [{Variable("x"): EX.d}]
+
+
+class TestVersionSemantics:
+    """Pin the mutation-counter contract the evaluation caches key on:
+    +1 per effective single mutation, +1 per effective *batch*."""
+
+    def test_add_bumps_once_and_duplicates_do_not(self):
+        g = RDFGraph()
+        assert g.version == 0
+        g.add(Triple.of("a", "p", "b"))
+        assert g.version == 1
+        g.add(Triple.of("a", "p", "b"))
+        assert g.version == 1
+
+    def test_add_all_bumps_once_per_batch(self):
+        g = RDFGraph()
+        g.add_all([Triple.of("a", "p", "b"), Triple.of("b", "p", "c"), Triple.of("c", "p", "d")])
+        assert g.version == 1
+
+    def test_constructor_is_one_bulk_mutation(self):
+        g = RDFGraph([Triple.of("a", "p", "b"), Triple.of("b", "p", "c")])
+        assert g.version == 1
+        assert RDFGraph.from_triples([Triple.of("a", "p", "b")]).version == 1
+
+    def test_mixed_batch_bumps_once(self):
+        t = Triple.of("a", "p", "b")
+        g = RDFGraph([t])
+        g.add_all([t, Triple.of("b", "p", "c"), Triple.of("c", "p", "d")])
+        assert g.version == 2
+
+    def test_noop_mutations_do_not_bump(self):
+        t = Triple.of("a", "p", "b")
+        g = RDFGraph([t])
+        version = g.version
+        g.add_all([])
+        g.add_all([t, t])
+        g.discard(Triple.of("x", "y", "z"))
+        assert g.version == version
+
+    def test_discard_bumps(self):
+        t = Triple.of("a", "p", "b")
+        g = RDFGraph([t])
+        version = g.version
+        g.discard(t)
+        assert g.version == version + 1
+
+    def test_copy_and_pickle_preserve_the_version(self):
+        import pickle
+
+        g = RDFGraph([Triple.of("a", "p", "b")])
+        g.add(Triple.of("b", "p", "c"))
+        assert g.copy().version == g.version
+        assert pickle.loads(pickle.dumps(g)).version == g.version
+
+    def test_cache_invalidates_once_across_a_bulk_load(self):
+        """Regression: a bulk load used to bump the version once per triple,
+        invalidating warm per-graph cache entries N times over."""
+        from repro.evaluation import EvaluationCache
+
+        cache = EvaluationCache()
+        g = RDFGraph([Triple.of("a", "p", "b")])
+        index = cache.target_index(g)
+        assert cache.target_index(g) is index
+        g.add_all([Triple.of(f"n{i}", "p", f"n{i + 1}") for i in range(6)])
+        invalidations = cache.statistics.invalidations
+        fresh = cache.target_index(g)
+        assert fresh is not index
+        assert cache.statistics.invalidations == invalidations + 1
+        assert cache.target_index(g) is fresh

@@ -742,3 +742,45 @@ class TestMutationSafety:
         self._mutate(graph)
         answers = session.solutions_many(patterns, graph, processes=2)
         assert answers == [self._fresh_answers(forest, graph) for forest in patterns]
+
+    def _mutate_bulk(self, graph):
+        """One add_all batch: a single version bump for several new triples."""
+        graph.add_all(
+            Triple.of(str(EX[f"bulk{i}"]), str(EX["bulk"]), str(EX[f"bulk{i + 1}"]))
+            for i in range(3)
+        )
+
+    def test_serial_solutions_iter_bulk_mutation_mid_cell_does_not_poison(self):
+        """Incremental index maintenance must not weaken the version fence:
+        an add_all mid-cell aborts the stream's recording exactly like a
+        chain of single adds used to."""
+        graph = tprime_data_graph(6, 20, seed=25)
+        forest = WDPatternForest([tprime_tree(2)])
+        session = Session()
+        iterator = session.solutions_iter([forest], graph)
+        next(iterator)
+        version = graph.version
+        self._mutate_bulk(graph)
+        assert graph.version == version + 1  # the batch bumps exactly once
+        for _ in iterator:
+            pass
+        (tree,) = list(forest)
+        assert session.cache.tree_solution_list(tree, graph) is None
+        assert session.solutions(forest, graph) == self._fresh_answers(forest, graph)
+
+    def test_parallel_solutions_iter_bulk_mutation_drops_stale_deltas(self):
+        graph = tprime_data_graph(7, 30, seed=27)
+        forest = WDPatternForest([tprime_tree(2)])
+        other = WDPatternForest([tprime_tree(3)])
+        session = Session()
+        iterator = session.solutions_iter(
+            [forest, other], graph, processes=2, chunk_size=1
+        )
+        next(iterator)
+        self._mutate_bulk(graph)  # one bump; the in-flight stamps predate it
+        for _ in iterator:
+            pass
+        assert session.cache.statistics.delta_entries_stale > 0
+        for tree in list(forest) + list(other):
+            assert session.cache.tree_solution_list(tree, graph) is None
+        assert session.solutions(forest, graph) == self._fresh_answers(forest, graph)
