@@ -5,6 +5,7 @@ A small CLI so that the library can be used without writing Python::
     python -m repro evaluate --graph data.nt --query "((?x knows ?y) OPT (?y email ?e))"
     python -m repro check    --graph data.nt --query QUERY --binding x=alice --binding y=bob
     python -m repro batch    --graph data.nt --query QUERY --bindings-file mappings.txt
+    python -m repro batch    --graph data.nt --query QUERY --bindings-file mappings.txt --timeout 5
     python -m repro explain  --query QUERY --width-bound 1
     python -m repro explain  --query QUERY --graph data.nt --cost
     python -m repro classify --query QUERY
@@ -51,7 +52,7 @@ from .sparql.mappings import Mapping
 from .sparql.parser import parse_pattern, to_text
 from .sparql.well_designed import find_violation
 from .width.classify import classify_pattern
-from .exceptions import ReproError
+from .exceptions import DeadlineExceeded, ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "naive", "natural"],
         default="natural",
         help="enumeration engine ('auto' resolves to natural)",
+    )
+    evaluate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the solutions found so far are "
+        "printed and the exit code is 3",
     )
 
     check = subparsers.add_parser("check", help="decide membership of a mapping (wdEVAL)")
@@ -121,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each verdict as soon as it is computed (combines with "
         "--processes: verdicts stream back from the worker pool in input "
         "order)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole batch (parent and workers); "
+        "on expiry the verdicts decided so far are printed and the exit "
+        "code is 3",
     )
 
     explain = subparsers.add_parser(
@@ -180,16 +198,24 @@ def _parse_bindings(raw_bindings: List[str]) -> Mapping:
 def _command_evaluate(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     session = Session()
-    solutions = sorted(
-        session.solutions(parse_pattern(args.query), graph, method=args.method), key=repr
-    )
-    print(f"# {len(solutions)} solution(s)")
+    timed_out = False
+    try:
+        answers = session.solutions(
+            parse_pattern(args.query), graph, method=args.method, deadline=args.timeout
+        )
+    except DeadlineExceeded as error:
+        answers = set(error.partial)
+        timed_out = True
+        elapsed = f" after {error.elapsed:.2f}s" if error.elapsed is not None else ""
+        print(f"# deadline exceeded{elapsed}; partial results follow", file=sys.stderr)
+    solutions = sorted(answers, key=repr)
+    print(f"# {len(solutions)} solution(s)" + (" (partial: timed out)" if timed_out else ""))
     for mapping in solutions:
         rendered = ", ".join(
             f"{var}={value}" for var, value in sorted(mapping.items(), key=lambda kv: kv[0].name)
         )
         print(rendered if rendered else "<empty mapping>")
-    return 0
+    return 3 if timed_out else 0
 
 
 def _command_check(args: argparse.Namespace) -> int:
@@ -237,34 +263,59 @@ def _command_batch(args: argparse.Namespace) -> int:
     mappings = _load_bindings_file(args.bindings_file)
     session = Session(processes=args.processes)
     pattern = session.engine(parse_pattern(args.query), width_bound=args.width)
-    if args.stream:
-        # Stream each verdict as soon as it is decided — serially through
-        # the shared session cache, or (with --processes) from the worker
-        # pool in input order.  Verdicts are identical to the batched path.
-        answers = []
-        for mu, answer in zip(
-            mappings,
-            session.check_iter(
-                pattern, graph, mappings, method=args.method, width=args.width
-            ),
-        ):
-            answers.append(answer)
-            print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}", flush=True)
-    else:
-        answers = session.check_many(
-            pattern, graph, mappings, method=args.method, width=args.width
+    timed_out = False
+    answers = []
+    try:
+        if args.stream:
+            # Stream each verdict as soon as it is decided — serially
+            # through the shared session cache, or (with --processes) from
+            # the worker pool in input order.  Verdicts are identical to
+            # the batched path.
+            for mu, answer in zip(
+                mappings,
+                session.check_iter(
+                    pattern,
+                    graph,
+                    mappings,
+                    method=args.method,
+                    width=args.width,
+                    deadline=args.timeout,
+                ),
+            ):
+                answers.append(answer)
+                print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}", flush=True)
+        else:
+            answers = session.check_many(
+                pattern,
+                graph,
+                mappings,
+                method=args.method,
+                width=args.width,
+                deadline=args.timeout,
+            )
+            for mu, answer in zip(mappings, answers):
+                print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}")
+    except DeadlineExceeded as error:
+        timed_out = True
+        elapsed = f" after {error.elapsed:.2f}s" if error.elapsed is not None else ""
+        print(
+            f"# deadline exceeded{elapsed}: "
+            f"{len(answers)} of {len(mappings)} verdict(s) decided",
+            file=sys.stderr,
         )
-        for mu, answer in zip(mappings, answers):
-            print(f"{'IN    ' if answer else 'NOT-IN'} {_render_mapping(mu)}")
     positive = sum(answers)
-    print(f"# {positive} of {len(answers)} mapping(s) are solutions")
+    print(
+        f"# {positive} of {len(answers)} mapping(s) are solutions"
+        + (" (partial: timed out)" if timed_out else "")
+    )
     if args.stats:
         plan = session.plan(pattern, method=args.method, width=args.width, graph=graph)
         print(f"# plan: {plan.summary()}")
         print(f"# workers: {session.worker_mode()}")
+        print(f"# resilience: {session.statistics.resilience_summary()}")
         stats = session.cache.statistics
         print(f"# cache: {stats.hits} hits, {stats.misses} misses ({stats.hit_rate():.0%} hit rate)")
-    return 0
+    return 3 if timed_out else 0
 
 
 def _command_explain(args: argparse.Namespace) -> int:

@@ -3,7 +3,10 @@ Theorem 1 pebble-relaxation algorithm, and the planned/cached service layer
 (plans, contexts, sessions, batching)."""
 
 from .naive import evaluate_pattern, pattern_contains
+from .budget import Budget, TimeoutReport
 from .context import EvalContext
+from .faults import FaultInjected, FaultPlan
+from ..exceptions import DeadlineExceeded, WorkerCrashError
 from .wdeval import (
     find_mu_subtree,
     tree_contains,
@@ -42,6 +45,12 @@ from .batch import BatchEngine, contains_many_patterns, contains_matrix
 __all__ = [
     "evaluate_pattern",
     "pattern_contains",
+    "Budget",
+    "TimeoutReport",
+    "DeadlineExceeded",
+    "WorkerCrashError",
+    "FaultInjected",
+    "FaultPlan",
     "EvalContext",
     "find_mu_subtree",
     "tree_contains",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Set
 
+from .budget import Budget
 from .cache import EvaluationCache
 from .engine import Engine
 from .session import PatternLike, Session
@@ -134,12 +135,16 @@ class BatchEngine:
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
         processes: Optional[int] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> List[bool]:
         """Decide ``µ ∈ ⟦P⟧G`` for every mapping, in input order.
 
         See :meth:`Session.check_many
         <repro.evaluation.session.Session.check_many>` — this is that entry
-        point pinned to the adapter's single pattern.
+        point pinned to the adapter's single pattern; ``deadline`` (seconds)
+        or ``budget`` bounds the batch and raises
+        :class:`~repro.exceptions.DeadlineExceeded` on violation.
         """
         return self._session.check_many(
             self._engine,
@@ -149,6 +154,8 @@ class BatchEngine:
             width=width,
             statistics=statistics,
             processes=processes,
+            deadline=deadline,
+            budget=budget,
         )
 
     def contains_iter(
@@ -159,6 +166,8 @@ class BatchEngine:
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
         processes: Optional[int] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> Iterator[bool]:
         """Stream the verdicts of :meth:`contains_many` in input order.
 
@@ -166,7 +175,9 @@ class BatchEngine:
         <repro.evaluation.session.Session.check_iter>` — verdicts surface
         as they are decided (optionally from a worker pool whose learned
         state flows back into the shared cache), instead of blocking until
-        the whole batch is done.
+        the whole batch is done.  ``deadline``/``budget`` bound the stream
+        and raise :class:`~repro.exceptions.DeadlineExceeded`
+        mid-iteration.
         """
         return self._session.check_iter(
             self._engine,
@@ -176,6 +187,8 @@ class BatchEngine:
             width=width,
             statistics=statistics,
             processes=processes,
+            deadline=deadline,
+            budget=budget,
         )
 
     def warm(
@@ -197,14 +210,30 @@ class BatchEngine:
         method: str = "auto",
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> bool:
         """Single membership check through the shared cache."""
-        return self._engine.contains(graph, mu, method=method, width=width, statistics=statistics)
+        return self._engine.contains(
+            graph,
+            mu,
+            method=method,
+            width=width,
+            statistics=statistics,
+            deadline=deadline,
+            budget=budget,
+        )
 
-    def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
+    def solutions(
+        self,
+        graph: RDFGraph,
+        method: str = "natural",
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
+    ) -> Set[Mapping]:
         """Enumerate the full answer set ``⟦P⟧G`` (see :meth:`Engine.solutions`);
         accepts ``method="auto"`` like the engine does."""
-        return self._engine.solutions(graph, method=method)
+        return self._engine.solutions(graph, method=method, deadline=deadline, budget=budget)
 
 
 def contains_many_patterns(

@@ -1,0 +1,228 @@
+"""Evaluation budgets: wall-clock deadlines, step limits, cancellation.
+
+A :class:`Budget` bounds how long one evaluation may run.  It is carried on
+:class:`~repro.evaluation.context.EvalContext` and checked *cheaply* inside
+the hot loops of the stack — the homomorphism backtracking search, the
+consistency-kernel worklists, the naive materialisation and both enumeration
+streams — via :meth:`Budget.tick`, an amortized check: a countdown counter
+is decremented on every call and the (comparatively expensive)
+``time.monotonic()`` read only happens when the counter runs out, every
+``check_interval`` ticks.  When the deadline has passed, the step budget is
+exhausted, or the budget was cooperatively cancelled, ``tick`` raises
+:class:`~repro.exceptions.DeadlineExceeded`.
+
+Deadlines are stored as *absolute* ``time.monotonic()`` instants, so a
+budget created in the parent remains meaningful in forked pool workers
+(``CLOCK_MONOTONIC`` is system-wide on Linux) and pickling preserves the
+absolute expiry rather than restarting the clock.
+
+:class:`TimeoutReport` is the terminal value a deadline-bounded
+:meth:`~repro.evaluation.session.Session.solutions_iter` yields after its
+partial results: a summary of what was done, what was cut off, and the
+statistics snapshot at the moment the deadline tripped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..exceptions import DeadlineExceeded, EvaluationError
+
+__all__ = ["Budget", "TimeoutReport"]
+
+#: Default number of ``tick()`` calls between real clock reads.
+DEFAULT_CHECK_INTERVAL = 256
+
+
+class Budget:
+    """A cooperative evaluation budget.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock allowance in **seconds** from now (``None`` = unbounded).
+        Stored internally as an absolute ``time.monotonic()`` expiry.
+    steps:
+        Optional step budget: the total number of ``tick`` units the
+        evaluation may consume (``None`` = unbounded).
+    check_interval:
+        How many ``tick()`` calls to amortize between real clock reads.
+
+    A budget is *shared, mutable* state: every layer holding a reference to
+    the same budget sees the same countdown and the same :meth:`cancel`
+    flag.  The hot loops only ever call :meth:`tick`; entry/exit points may
+    call :meth:`check` for an immediate verdict.
+    """
+
+    __slots__ = (
+        "started_at",
+        "expires_at",
+        "steps_limit",
+        "steps_used",
+        "_cancelled",
+        "_interval",
+        "_countdown",
+    )
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        steps: Optional[int] = None,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise EvaluationError(f"budget deadline must be >= 0, got {deadline!r}")
+        if steps is not None and steps < 0:
+            raise EvaluationError(f"budget step limit must be >= 0, got {steps!r}")
+        if check_interval < 1:
+            raise EvaluationError(
+                f"budget check_interval must be >= 1, got {check_interval!r}"
+            )
+        self.started_at = time.monotonic()
+        self.expires_at = None if deadline is None else self.started_at + deadline
+        self.steps_limit = steps
+        self.steps_used = 0
+        self._cancelled = False
+        self._interval = check_interval
+        self._countdown = check_interval
+
+    # --- interrogation ----------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` = no deadline)."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether any bound has been crossed (no exception raised)."""
+        if self._cancelled:
+            return True
+        if self.steps_limit is not None and self.steps_used > self.steps_limit:
+            return True
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    # --- control ----------------------------------------------------------
+    def cancel(self) -> None:
+        """Cooperatively cancel: the next check raises ``DeadlineExceeded``."""
+        self._cancelled = True
+
+    def check(self) -> None:
+        """Immediate (non-amortized) bound check; raises on violation."""
+        if self._cancelled:
+            raise DeadlineExceeded(
+                "evaluation cancelled", elapsed=self.elapsed(), budget=self
+            )
+        if self.steps_limit is not None and self.steps_used > self.steps_limit:
+            raise DeadlineExceeded(
+                f"evaluation step budget exhausted "
+                f"({self.steps_used} > {self.steps_limit} steps)",
+                elapsed=self.elapsed(),
+                budget=self,
+            )
+        if self.expires_at is not None and time.monotonic() >= self.expires_at:
+            raise DeadlineExceeded(
+                f"evaluation deadline exceeded "
+                f"({self.expires_at - self.started_at:.3f}s allowed)",
+                elapsed=self.elapsed(),
+                budget=self,
+            )
+
+    def tick(self, n: int = 1) -> None:
+        """Amortized bound check for hot loops.
+
+        Counts *n* steps against the step budget and, every
+        ``check_interval`` accumulated ticks, performs the real clock /
+        cancellation check.  Cheap enough to call once per backtracking
+        node, worklist pop or materialised mapping.
+        """
+        self.steps_used += n
+        self._countdown -= n
+        if self._countdown <= 0:
+            self._countdown = self._interval
+            self.check()
+
+    # --- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "started_at": self.started_at,
+            "expires_at": self.expires_at,
+            "steps_limit": self.steps_limit,
+            "steps_used": self.steps_used,
+            "cancelled": self._cancelled,
+            "interval": self._interval,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.started_at = state["started_at"]
+        self.expires_at = state["expires_at"]
+        self.steps_limit = state["steps_limit"]
+        self.steps_used = state["steps_used"]
+        self._cancelled = state["cancelled"]
+        self._interval = state["interval"]
+        self._countdown = state["interval"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = []
+        if self.expires_at is not None:
+            bits.append(f"deadline={self.expires_at - self.started_at:.3f}s")
+        if self.steps_limit is not None:
+            bits.append(f"steps={self.steps_used}/{self.steps_limit}")
+        if self._cancelled:
+            bits.append("cancelled")
+        return f"Budget({', '.join(bits) or 'unbounded'})"
+
+
+def budget_from(
+    deadline: Optional[float] = None, budget: Optional[Budget] = None
+) -> Optional[Budget]:
+    """Normalise the ``deadline= / budget=`` convenience pair of the public
+    entry points: an explicit :class:`Budget` wins, a bare ``deadline``
+    (seconds from now) builds one, neither means unbounded."""
+    if budget is not None:
+        return budget
+    if deadline is not None:
+        return Budget(deadline=deadline)
+    return None
+
+
+@dataclass(frozen=True)
+class TimeoutReport:
+    """Terminal item yielded by a deadline-bounded ``solutions_iter``.
+
+    The stream yields every solution chunk it produced in time, then exactly
+    one ``TimeoutReport`` describing the cut, then stops.  Consumers can
+    ``isinstance``-check the items or compare against the report's fields.
+    """
+
+    #: Seconds the evaluation ran before the deadline tripped.
+    elapsed: float
+    #: The configured allowance in seconds (``None`` for step/cancel trips).
+    deadline: Optional[float]
+    #: ``(pattern, graph)`` cells fully enumerated before the trip.
+    cells_done: int
+    #: Cells still unfinished when the deadline tripped.
+    cells_pending: int
+    #: Solutions already yielded to the consumer before the report.
+    solutions_yielded: int
+    #: The statistics snapshot at the moment of the trip (may be ``None``).
+    statistics: Optional[Any] = None
+    #: Extra detail strings (one per pending cell where known).
+    pending: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeoutReport(elapsed={self.elapsed:.3f}s, "
+            f"cells_done={self.cells_done}, cells_pending={self.cells_pending}, "
+            f"solutions_yielded={self.solutions_yielded})"
+        )

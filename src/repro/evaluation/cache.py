@@ -406,23 +406,35 @@ class EvaluationCache:
         stamp that no longer matches the live ``graph.version`` (the parent
         mutated the graph while the worker ran) is dropped and counted in
         ``statistics.delta_entries_stale`` — a stale delta can never poison
-        the cache.  Accepted entries are inserted with their original costs
-        through the regular LRU bound.  Returns the number of entries
-        absorbed (already-present entries are skipped, preserving the
-        parent's own recency order).
+        the cache.  Malformed entries (unknown kind, out-of-range slot or
+        tree index, wrong shape — for instance a delta corrupted in
+        transit) are likewise dropped and counted, never raised: a bad
+        delta costs its entries, not the batch.  Accepted entries are
+        inserted with their original costs through the regular LRU bound.
+        Returns the number of entries absorbed (already-present entries
+        are skipped, preserving the parent's own recency order).
         """
         tree_list = list(trees)
         absorbed = 0
-        for slot, kind, key, value, cost in delta.entries:
-            stamp = delta.versions.get(slot)
-            graph = graphs[slot]
-            if stamp is None or stamp != graph.version:
+        for entry in delta.entries:
+            try:
+                slot, kind, key, value, cost = entry
+                if kind not in _DELTA_KINDS:
+                    raise ValueError(f"unknown delta kind {kind!r}")
+                stamp = delta.versions.get(slot)
+                if not 0 <= slot < len(graphs):
+                    raise IndexError(f"graph slot {slot!r} out of range")
+                graph = graphs[slot]
+                if stamp is None or stamp != graph.version:
+                    self._statistics.delta_entries_stale += 1
+                    continue
+                if kind in _TREE_KEYED_KINDS:
+                    tree = tree_list[key[0]]
+                    self._tree_table(tree)  # pin the tree: the id() key stays valid
+                    key = (id(tree),) + key[1:]
+            except (TypeError, ValueError, IndexError, KeyError):
                 self._statistics.delta_entries_stale += 1
                 continue
-            if kind in _TREE_KEYED_KINDS:
-                tree = tree_list[key[0]]
-                self._tree_table(tree)  # pin the tree so the id() key stays valid
-                key = (id(tree),) + key[1:]
             store = self._store(graph)
             if (kind, key) in store.entries:
                 continue
@@ -496,7 +508,9 @@ class EvaluationCache:
             store.index = target_index(graph)
         return store.index
 
-    def extension_exists(self, triples: TGraph, graph: RDFGraph, mu: Mapping) -> bool:
+    def extension_exists(
+        self, triples: TGraph, graph: RDFGraph, mu: Mapping, budget=None
+    ) -> bool:
         """Memoized ``extends_into(triples, graph, µ) is not None``.
 
         The key restricts ``µ`` to the variables of *triples*, so mappings
@@ -513,13 +527,14 @@ class EvaluationCache:
             return cached  # type: ignore[return-value]
         self._statistics.hom_misses += 1
         result = (
-            find_homomorphism(triples, graph, fixed, self.target_index(graph)) is not None
+            find_homomorphism(triples, graph, fixed, self.target_index(graph), budget)
+            is not None
         )
         self._bounded_insert(graph, store, "hom", key, result)
         return result
 
     def homomorphisms_stream(
-        self, source: TGraph, graph: RDFGraph
+        self, source: TGraph, graph: RDFGraph, budget=None
     ) -> Iterator[Dict[Variable, Term]]:
         """All homomorphisms from *source* into *graph*, lazily, memoized.
 
@@ -552,8 +567,11 @@ class EvaluationCache:
         index = self.target_index(graph)
 
         def search_and_record() -> Iterator[Dict[Variable, Term]]:
+            # A budget trip aborts the generator mid-stream, so the
+            # completion record below never runs — a truncated answer list
+            # is never recorded as complete.
             recorded: list = []
-            for hom in all_homomorphisms(source, graph, index=index):
+            for hom in all_homomorphisms(source, graph, index=index, budget=budget):
                 recorded.append(hom)
                 yield hom
             if graph.version == version:
@@ -596,7 +614,12 @@ class EvaluationCache:
         return kernel
 
     def pebble_winner(
-        self, extended: GeneralizedTGraph, graph: RDFGraph, mu: Mapping, pebbles: int
+        self,
+        extended: GeneralizedTGraph,
+        graph: RDFGraph,
+        mu: Mapping,
+        pebbles: int,
+        budget=None,
     ) -> bool:
         """Memoized existential *pebbles*-pebble game verdict
         ``(S, X) →µ_pebbles G``, answered through the shared kernel."""
@@ -610,7 +633,7 @@ class EvaluationCache:
             self._statistics.pebble_hits += 1
             return cached  # type: ignore[return-value]
         self._statistics.pebble_misses += 1
-        result = self.pebble_kernel(extended, graph, pebbles).winner(mu)
+        result = self.pebble_kernel(extended, graph, pebbles).winner(mu, budget=budget)
         # Re-fetch the store: building the kernel may have reset it if the
         # graph was mutated concurrently (defensive; same-version re-fetch is
         # a dict lookup).

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
+from .budget import Budget
 from .cache import EvaluationCache
 from ..hom.homomorphism import TargetIndex, all_homomorphisms, extends_into
 from ..hom.tgraph import GeneralizedTGraph, TGraph
@@ -69,6 +70,16 @@ class EvalContext:
         Solutions per IPC message when parallel
         :meth:`~repro.evaluation.session.Session.solutions_iter` streams a
         cell's results across the process boundary.
+    budget:
+        Optional :class:`~repro.evaluation.budget.Budget` bounding the
+        evaluation; the hot loops tick it through the cache-or-direct
+        helpers below and raise
+        :class:`~repro.exceptions.DeadlineExceeded` when it expires.
+    faults:
+        Test-only :class:`~repro.evaluation.faults.FaultPlan` hook; ``None``
+        in production.  Installed by the fault-injection harness so crash
+        paths can be driven deterministically (see
+        :mod:`repro.evaluation.faults`).
     """
 
     cache: Optional[EvaluationCache] = None
@@ -76,6 +87,8 @@ class EvalContext:
     processes: Optional[int] = None
     warm_on_fork: bool = True
     stream_chunk_size: int = 16
+    budget: Optional[Budget] = None
+    faults: Optional[object] = None
 
     # --- construction --------------------------------------------------------
     @classmethod
@@ -98,6 +111,24 @@ class EvalContext:
         if cache is self.cache:
             return self
         return replace(self, cache=cache)
+
+    def with_budget(self, budget: Optional[Budget]) -> "EvalContext":
+        """This context with *budget* swapped in (no-op when unchanged)."""
+        if budget is self.budget:
+            return self
+        return replace(self, budget=budget)
+
+    # --- budget helpers --------------------------------------------------------
+    def tick(self, n: int = 1) -> None:
+        """Amortized budget check (no-op without a budget); raises
+        :class:`~repro.exceptions.DeadlineExceeded` when the budget expires."""
+        if self.budget is not None:
+            self.budget.tick(n)
+
+    def check_budget(self) -> None:
+        """Immediate budget check (no-op without a budget)."""
+        if self.budget is not None:
+            self.budget.check()
 
     # --- statistics helpers ---------------------------------------------------
     def note_tree_visited(self) -> None:
@@ -130,8 +161,8 @@ class EvalContext:
     def extension_exists(self, triples: TGraph, graph: RDFGraph, mu: Mapping) -> bool:
         """Lemma 1's child test: does *triples* extend into *graph* under µ?"""
         if self.cache is not None:
-            return self.cache.extension_exists(triples, graph, mu)
-        return extends_into(triples, graph, mu) is not None
+            return self.cache.extension_exists(triples, graph, mu, self.budget)
+        return extends_into(triples, graph, mu, budget=self.budget) is not None
 
     def child_instances(
         self, tree: WDPatternTree, subtree: Subtree
@@ -156,8 +187,8 @@ class EvalContext:
         """The existential *pebbles*-pebble game verdict (kernel-shared when
         cached)."""
         if self.cache is not None:
-            return self.cache.pebble_winner(extended, graph, mu, pebbles)
-        return pebble_game_winner(extended, graph, mu, pebbles)
+            return self.cache.pebble_winner(extended, graph, mu, pebbles, self.budget)
+        return pebble_game_winner(extended, graph, mu, pebbles, budget=self.budget)
 
     def target_index(self, graph: RDFGraph) -> Optional[TargetIndex]:
         """The shared triple index of *graph*, or ``None`` without a cache."""
@@ -194,5 +225,5 @@ class EvalContext:
         generator.
         """
         if self.cache is not None:
-            return self.cache.homomorphisms_stream(source, graph)
-        return all_homomorphisms(source, graph)
+            return self.cache.homomorphisms_stream(source, graph, self.budget)
+        return all_homomorphisms(source, graph, budget=self.budget)

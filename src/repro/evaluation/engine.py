@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Set
 
+from .budget import Budget, budget_from
 from .cache import EvaluationCache
 from .context import EvalContext
 from .plan import Plan, Planner, PatternStats
@@ -37,7 +38,7 @@ from ..patterns.forest import WDPatternForest
 from ..rdf.graph import RDFGraph
 from ..sparql.algebra import GraphPattern
 from ..sparql.mappings import Mapping
-from ..exceptions import EvaluationError
+from ..exceptions import DeadlineExceeded, EvaluationError
 
 __all__ = ["Engine"]
 
@@ -214,17 +215,36 @@ class Engine:
         method: str = "auto",
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> bool:
         """Decide ``µ ∈ ⟦P⟧G``.
 
         ``width`` overrides the engine's width bound for the pebble method.
         ``method="auto"`` resolves through the cost model for *graph* (the
         resolved plan is memoized, so tight loops over one graph pay the
-        planning cost once).
+        planning cost once).  ``deadline`` (seconds) or an explicit
+        ``budget`` bounds the check; a violation raises
+        :class:`~repro.exceptions.DeadlineExceeded` carrying the statistics
+        snapshot accumulated so far.
         """
         plan = self._planner.plan(method, width, graph=graph)
-        context = self._context.with_statistics(statistics)
-        return plan.strategy_obj.contains(self._pattern, self._forest, graph, mu, plan, context)
+        context = self._context.with_statistics(statistics).with_budget(
+            budget_from(deadline, budget)
+        )
+        try:
+            # Up-front check: a pre-expired budget must trip even when the
+            # instance is small enough to finish between amortized ticks.
+            context.check_budget()
+            return plan.strategy_obj.contains(
+                self._pattern, self._forest, graph, mu, plan, context
+            )
+        except DeadlineExceeded as exc:
+            if statistics is not None:
+                statistics.deadline_trips += 1
+                if exc.statistics is None:
+                    exc.statistics = statistics
+            raise
 
     def contains_all_methods(
         self,
@@ -245,20 +265,44 @@ class Engine:
         }
 
     # --- enumeration -------------------------------------------------------------------------
-    def solutions(self, graph: RDFGraph, method: str = "natural") -> Set[Mapping]:
+    def solutions(
+        self,
+        graph: RDFGraph,
+        method: str = "natural",
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
+    ) -> Set[Mapping]:
         """Enumerate the full answer set ``⟦P⟧G``.
 
         ``method="auto"`` cost-picks between the naive and natural strategies
         for this graph (the pebble relaxation decides membership only and is
-        rejected).
+        rejected).  A violated ``deadline``/``budget`` raises
+        :class:`~repro.exceptions.DeadlineExceeded` whose ``partial``
+        attribute holds the solutions found before the trip.
         """
-        return set(self.solutions_stream(graph, method))
+        partial: Set[Mapping] = set()
+        try:
+            partial.update(self.solutions_stream(graph, method, deadline, budget))
+        except DeadlineExceeded as exc:
+            if not exc.partial:
+                exc.partial = tuple(partial)
+            raise
+        return partial
 
-    def solutions_stream(self, graph: RDFGraph, method: str = "natural") -> Iterator[Mapping]:
+    def solutions_stream(
+        self,
+        graph: RDFGraph,
+        method: str = "natural",
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
+    ) -> Iterator[Mapping]:
         """Stream ``⟦P⟧G`` as a deduplicated generator (same methods as
         :meth:`solutions`; ``method="auto"`` cost-picks naive vs natural for
-        this graph)."""
+        this graph).  A violated ``deadline``/``budget`` raises
+        :class:`~repro.exceptions.DeadlineExceeded` mid-stream."""
         plan = self._planner.plan_enumeration(method, graph=graph)
+        context = self._context.with_budget(budget_from(deadline, budget))
+        context.check_budget()  # pre-expired budgets trip before streaming
         return plan.strategy_obj.solutions_stream(
-            self._pattern, self._forest, graph, self._context
+            self._pattern, self._forest, graph, context
         )

@@ -18,8 +18,12 @@ from ..exceptions import EvaluationError
 __all__ = ["evaluate_pattern", "pattern_contains"]
 
 
-def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph) -> Set[Mapping]:
+def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph, budget=None) -> Set[Mapping]:
     """``⟦P⟧G`` — the full set of solution mappings of a graph pattern.
+
+    *budget* (any object with an amortized ``tick(n)``) is ticked once per
+    node plus once per mapping materialised at that node, bounding the
+    exponential blow-up of the reference semantics.
 
     >>> from ..sparql import parse_pattern
     >>> from ..rdf import RDFGraph, Triple
@@ -28,22 +32,35 @@ def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph) -> Set[Mapping]:
     1
     """
     if isinstance(pattern, TriplePatternNode):
-        return {Mapping(binding) for binding in graph.solutions(pattern.triple_pattern)}
-    if isinstance(pattern, And):
-        return join_sets(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
-    if isinstance(pattern, Opt):
-        return left_outer_join_sets(
-            evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph)
+        result = {Mapping(binding) for binding in graph.solutions(pattern.triple_pattern)}
+    elif isinstance(pattern, And):
+        result = join_sets(
+            evaluate_pattern(pattern.left, graph, budget),
+            evaluate_pattern(pattern.right, graph, budget),
         )
-    if isinstance(pattern, Union):
-        return union_sets(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
-    raise EvaluationError(f"unsupported pattern node {type(pattern).__name__}")
+    elif isinstance(pattern, Opt):
+        result = left_outer_join_sets(
+            evaluate_pattern(pattern.left, graph, budget),
+            evaluate_pattern(pattern.right, graph, budget),
+        )
+    elif isinstance(pattern, Union):
+        result = union_sets(
+            evaluate_pattern(pattern.left, graph, budget),
+            evaluate_pattern(pattern.right, graph, budget),
+        )
+    else:
+        raise EvaluationError(f"unsupported pattern node {type(pattern).__name__}")
+    if budget is not None:
+        budget.tick(1 + len(result))
+    return result
 
 
-def pattern_contains(pattern: GraphPattern, graph: RDFGraph, mu: Mapping) -> bool:
+def pattern_contains(
+    pattern: GraphPattern, graph: RDFGraph, mu: Mapping, budget=None
+) -> bool:
     """``µ ∈ ⟦P⟧G`` decided by materialising the whole answer set.
 
     Only suitable for small instances; it is the ground truth used by the
     tests to validate the wdPF-based engines.
     """
-    return mu in evaluate_pattern(pattern, graph)
+    return mu in evaluate_pattern(pattern, graph, budget)

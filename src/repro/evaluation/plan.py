@@ -209,15 +209,15 @@ class NaiveStrategy(Strategy):
     parallel_safe = False
 
     def contains(self, pattern, forest, graph, mu, plan, context):
-        return pattern_contains(pattern, graph, mu)
+        return pattern_contains(pattern, graph, mu, context.budget)
 
     def contains_many(self, pattern, forest, graph, mappings, plan, context):
         # One materialisation of the full answer set serves every mapping.
-        answer_set = evaluate_pattern(pattern, graph)
+        answer_set = evaluate_pattern(pattern, graph, context.budget)
         return [mu in answer_set for mu in mappings]
 
     def solutions_stream(self, pattern, forest, graph, context):
-        return iter(evaluate_pattern(pattern, graph))
+        return iter(evaluate_pattern(pattern, graph, context.budget))
 
 
 class NaturalStrategy(Strategy):

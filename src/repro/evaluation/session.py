@@ -34,7 +34,21 @@ candidate mappings, many patterns, many graphs — behind one shared cache.
   :meth:`EvaluationCache.absorb
   <repro.evaluation.cache.EvaluationCache.absorb>` — so a repeated batch
   over the same cells replays from the parent cache instead of recomputing
-  (cells the parent can already answer completely never reach the pool).
+  (cells the parent can already answer completely never reach the pool);
+* every pool path is **crash-aware**: worker deaths are detected (not
+  waited out), the affected tasks are retried once on the surviving
+  workers, and a second failure degrades the remainder to serial
+  re-execution in the parent — answers are never lost and never
+  duplicated, and the recovery is accounted in
+  :class:`~repro.evaluation.wdeval.EvaluationStatistics`
+  (``worker_crashes`` / ``cells_degraded_serial`` / ``cells_lost``);
+* wall-clock / step budgets (:class:`~repro.evaluation.budget.Budget`)
+  travel with the tasks into the workers; a deadline-bounded
+  :meth:`solutions_iter` yields its partial results and then a terminal
+  :class:`~repro.evaluation.budget.TimeoutReport` instead of hanging; and
+  a deterministic fault-injection harness
+  (:mod:`repro.evaluation.faults`) drives all of these paths in tests
+  with real SIGKILLs and real queue stalls.
 
 :class:`~repro.evaluation.batch.BatchEngine` is a single-pattern adapter
 over this class.
@@ -45,9 +59,10 @@ from __future__ import annotations
 import multiprocessing
 import warnings
 from queue import Empty
-from time import monotonic
+from time import monotonic, sleep
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from .budget import Budget, TimeoutReport, budget_from
 from .cache import CacheDelta, EvaluationCache
 from .context import EvalContext
 from .engine import Engine
@@ -57,12 +72,25 @@ from ..patterns.forest import WDPatternForest
 from ..rdf.graph import RDFGraph
 from ..sparql.algebra import GraphPattern
 from ..sparql.mappings import Mapping
-from ..exceptions import EvaluationError
+from ..exceptions import (
+    DeadlineExceeded,
+    EvaluationError,
+    ReproError,
+    WorkerCrashError,
+)
 
 __all__ = ["Session", "PatternLike"]
 
 #: Anything a session entry point accepts as "a pattern".
 PatternLike = Union[Engine, GraphPattern, WDPatternForest]
+
+#: How many times one task may be attempted on the pool before the parent
+#: re-runs it serially (1 original + 1 retry after a worker crash).
+_MAX_TASK_ATTEMPTS = 2
+
+#: Backoff after a detected worker crash, giving the pool a beat to reap
+#: the corpse and respawn a replacement before tasks are resubmitted.
+_CRASH_BACKOFF_SECONDS = 0.05
 
 
 # --- multiprocessing plumbing -------------------------------------------------
@@ -86,6 +114,13 @@ PatternLike = Union[Engine, GraphPattern, WDPatternForest]
 # *parent's* graph versions at pool creation — a worker's own (pickled or
 # forked) version counter is meaningless parent-side — and a worker whose
 # graph copy mutated withholds the stamp, so stale state is never shipped.
+#
+# Tasks carry their submission *position* so that (a) the parent can match
+# retried / degraded work without trusting pool ordering and (b) the
+# fault-injection harness can target "the worker that picks up task N"
+# deterministically.  An optional Budget travels in the initargs (absolute
+# monotonic deadlines stay meaningful across processes on Linux), as does
+# the test-only FaultPlan.
 
 _WORKER_STATE: Dict[str, object] = {}
 
@@ -98,6 +133,8 @@ def _init_worker(
     width: Optional[int],
     warm_engine: Optional[Engine] = None,
     parent_version: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    faults: Optional[object] = None,
 ) -> None:
     if warm_engine is not None:
         # Fork path: the parent's engine (and its warmed cache) arrives by
@@ -118,6 +155,8 @@ def _init_worker(
     _WORKER_STATE["trees"] = list(forest)
     _WORKER_STATE["parent_version"] = parent_version
     _WORKER_STATE["base_version"] = graph.version
+    _WORKER_STATE["budget"] = budget
+    _WORKER_STATE["faults"] = faults
 
 
 def _export_membership_delta() -> Optional[CacheDelta]:
@@ -132,39 +171,55 @@ def _export_membership_delta() -> Optional[CacheDelta]:
         if graph.version == _WORKER_STATE["base_version"]
         else None
     )
-    return engine.cache.export_delta(
+    delta = engine.cache.export_delta(
         [graph], _WORKER_STATE["trees"], [stamp]  # type: ignore[arg-type]
     )
+    faults = _WORKER_STATE.get("faults")
+    if faults is not None:
+        delta = faults.tamper_delta(delta)  # type: ignore[union-attr]
+    return delta
 
 
-def _worker_contains(mu: Mapping) -> Tuple[bool, Optional[CacheDelta]]:
+def _worker_contains(task: Tuple[int, Mapping]) -> Tuple[bool, Optional[CacheDelta]]:
     """One verdict + delta per task — the streaming (check_iter) shape."""
+    position, mu = task
     engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
+    graph: RDFGraph = _WORKER_STATE["graph"]  # type: ignore[assignment]
+    faults = _WORKER_STATE.get("faults")
+    if faults is not None:
+        faults.fire(position, graph)  # type: ignore[union-attr]
     answer = engine.contains(
-        _WORKER_STATE["graph"],  # type: ignore[arg-type]
+        graph,
         mu,
         method=_WORKER_STATE["method"],  # type: ignore[arg-type]
         width=_WORKER_STATE["width"],  # type: ignore[arg-type]
+        budget=_WORKER_STATE.get("budget"),  # type: ignore[arg-type]
     )
     return answer, _export_membership_delta()
 
 
 def _worker_contains_chunk(
-    mappings: List[Mapping],
+    task: Tuple[int, List[Mapping]],
 ) -> Tuple[List[bool], Optional[CacheDelta]]:
     """Many verdicts + one delta per task — the blocking (check_many) shape.
 
-    The blocking path absorbs deltas only after the whole ``pool.map``
-    returns, so shipping one per mapping would pay per-message pickling for
-    zero latency gain; the parent chunks the batch instead.
+    The blocking path absorbs deltas only after the chunk returns, so
+    shipping one per mapping would pay per-message pickling for zero
+    latency gain; the parent chunks the batch instead.
     """
+    position, mappings = task
     engine: Engine = _WORKER_STATE["engine"]  # type: ignore[assignment]
+    graph: RDFGraph = _WORKER_STATE["graph"]  # type: ignore[assignment]
+    faults = _WORKER_STATE.get("faults")
+    if faults is not None:
+        faults.fire(position, graph)  # type: ignore[union-attr]
     answers = [
         engine.contains(
-            _WORKER_STATE["graph"],  # type: ignore[arg-type]
+            graph,
             mu,
             method=_WORKER_STATE["method"],  # type: ignore[arg-type]
             width=_WORKER_STATE["width"],  # type: ignore[arg-type]
+            budget=_WORKER_STATE.get("budget"),  # type: ignore[arg-type]
         )
         for mu in mappings
     ]
@@ -173,7 +228,7 @@ def _worker_contains_chunk(
 
 # Enumeration workers are initialised once per pool with every forest and
 # graph the batch touches (pickled once per worker under non-fork start
-# methods) and then receive cells as plain index pairs.  With the ``fork``
+# methods) and then receive cells as plain index triples.  With the ``fork``
 # start method the parent warms its cache first and hands its **live
 # session** to the initializer — fork does not pickle initargs, so every
 # worker starts with the parent's target indexes, memoized homomorphism
@@ -194,6 +249,8 @@ def _init_enum_worker(
     parent_versions: Optional[List[int]] = None,
     result_queue: Optional[object] = None,
     chunk_size: int = 1,
+    budget: Optional[Budget] = None,
+    faults: Optional[object] = None,
 ) -> None:
     if warm_session is not None:
         # Fork path: the parent's session (engines + warmed cache) arrives
@@ -213,6 +270,8 @@ def _init_enum_worker(
     _ENUM_STATE["base_versions"] = [g.version for g in graphs]
     _ENUM_STATE["queue"] = result_queue
     _ENUM_STATE["chunk_size"] = chunk_size
+    _ENUM_STATE["budget"] = budget
+    _ENUM_STATE["faults"] = faults
 
 
 def _export_enum_delta() -> Optional[CacheDelta]:
@@ -227,12 +286,16 @@ def _export_enum_delta() -> Optional[CacheDelta]:
             _ENUM_STATE["parent_versions"],  # type: ignore[arg-type]
         )
     ]
-    return session.cache.export_delta(graphs, _ENUM_STATE["trees"], stamps)  # type: ignore[arg-type]
+    delta = session.cache.export_delta(graphs, _ENUM_STATE["trees"], stamps)  # type: ignore[arg-type]
+    faults = _ENUM_STATE.get("faults")
+    if faults is not None:
+        delta = faults.tamper_delta(delta)  # type: ignore[union-attr]
+    return delta
 
 
 def _enum_worker_cell(
     task: Tuple[int, int, int],
-) -> Tuple[int, Set[Mapping], Optional[CacheDelta]]:
+) -> Tuple[Set[Mapping], Optional[CacheDelta]]:
     """Enumerate one distinct (pattern, graph) cell in a worker process.
 
     Only forests cross the process boundary (the picklable normal form); the
@@ -242,42 +305,103 @@ def _enum_worker_cell(
     """
     position, forest_index, graph_index = task
     session: "Session" = _ENUM_STATE["session"]  # type: ignore[assignment]
+    graph: RDFGraph = _ENUM_STATE["graphs"][graph_index]  # type: ignore[index]
+    faults = _ENUM_STATE.get("faults")
+    if faults is not None:
+        faults.fire(position, graph)  # type: ignore[union-attr]
     answers = session.solutions(
         _ENUM_STATE["forests"][forest_index],  # type: ignore[index]
-        _ENUM_STATE["graphs"][graph_index],  # type: ignore[index]
+        graph,
         method=_ENUM_STATE["method"],  # type: ignore[arg-type]
+        budget=_ENUM_STATE.get("budget"),  # type: ignore[arg-type]
     )
-    return position, answers, _export_enum_delta()
+    return answers, _export_enum_delta()
 
 
 def _enum_stream_worker_cell(task: Tuple[int, int, int]) -> int:
     """Stream one cell's solutions back in fixed-size chunks over the queue.
 
     Messages are ``("chunk", position, [mappings])`` while enumerating,
-    ``("done", position, [tail mappings], delta)`` on completion, and
-    ``("error", position, description)`` on failure.  The queue is bounded,
-    so a slow parent backpressures the workers instead of buffering whole
-    cells in the pipe.
+    ``("done", position, [tail mappings], delta)`` on completion,
+    ``("deadline", position, description)`` when the cell's budget trips,
+    and ``("error", position, description)`` on any other failure.  The
+    queue is bounded, so a slow parent backpressures the workers instead of
+    buffering whole cells in the pipe.  Every task ends with exactly one
+    terminal message (or a dead worker, which the parent detects) — the
+    parent counts terminals, so a cell can never go missing silently.
     """
     position, forest_index, graph_index = task
     queue = _ENUM_STATE["queue"]
     chunk_size: int = _ENUM_STATE["chunk_size"]  # type: ignore[assignment]
     session: "Session" = _ENUM_STATE["session"]  # type: ignore[assignment]
+    graph: RDFGraph = _ENUM_STATE["graphs"][graph_index]  # type: ignore[index]
+    faults = _ENUM_STATE.get("faults")
     try:
+        if faults is not None:
+            faults.fire(position, graph)  # type: ignore[union-attr]
         buffer: List[Mapping] = []
         for mu in session.solutions_stream(
             _ENUM_STATE["forests"][forest_index],  # type: ignore[index]
-            _ENUM_STATE["graphs"][graph_index],  # type: ignore[index]
+            graph,
             method=_ENUM_STATE["method"],  # type: ignore[arg-type]
+            budget=_ENUM_STATE.get("budget"),  # type: ignore[arg-type]
         ):
             buffer.append(mu)
             if len(buffer) >= chunk_size:
                 queue.put(("chunk", position, buffer))  # type: ignore[union-attr]
                 buffer = []
-        queue.put(("done", position, buffer, _export_enum_delta()))  # type: ignore[union-attr]
+        delta = _export_enum_delta()
+        if faults is not None and faults.drop_done(position):  # type: ignore[union-attr]
+            return position  # injected silent loss: swallow the terminal event
+        queue.put(("done", position, buffer, delta))  # type: ignore[union-attr]
+    except DeadlineExceeded as error:
+        queue.put(("deadline", position, str(error)))  # type: ignore[union-attr]
     except Exception as error:  # surfaced parent-side as an EvaluationError
         queue.put(("error", position, f"{type(error).__name__}: {error}"))  # type: ignore[union-attr]
     return position
+
+
+# --- crash detection ----------------------------------------------------------
+
+
+class _PoolWatch:
+    """Observe a pool's worker processes and report deaths.
+
+    ``multiprocessing.Pool`` never surfaces a SIGKILLed worker: the task it
+    was running simply never completes.  This watch keeps its own handle on
+    every worker ``Process`` the pool spawns (including respawned
+    replacements) and reports each nonzero exit exactly once.  It reads the
+    pool's private ``_pool`` list behind ``getattr`` guards — if a future
+    stdlib drops the attribute, detection degrades to "no crashes observed"
+    rather than breaking.
+    """
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+        self._seen: Dict[int, object] = {}
+        self._accounted: Set[int] = set()
+        #: Total nonzero worker exits observed so far.
+        self.crashes = 0
+        self.poll()
+
+    def poll(self) -> int:
+        """Newly observed worker deaths since the previous poll."""
+        for proc in getattr(self._pool, "_pool", None) or ():
+            pid = getattr(proc, "pid", None)
+            if pid is not None and pid not in self._seen:
+                self._seen[pid] = proc
+        fresh = 0
+        for pid, proc in self._seen.items():
+            if pid in self._accounted:
+                continue
+            exitcode = getattr(proc, "exitcode", None)
+            if exitcode is None:
+                continue  # still running
+            self._accounted.add(pid)
+            if exitcode != 0:  # clean exits (pool shutdown) are not crashes
+                fresh += 1
+        self.crashes += fresh
+        return fresh
 
 
 # --- worker-mode introspection ------------------------------------------------
@@ -329,7 +453,9 @@ class Session:
     streams batched enumeration results as cells complete.  Parallel entry
     points warm the µ-independent cache state before forking so workers
     inherit hot indexes, kernels, homomorphism lists and recorded answer
-    lists.  Every cache/pool/warm feature is answer-preserving.
+    lists.  Every cache/pool/warm feature is answer-preserving, and every
+    pool path recovers from worker crashes (retry once, then serial re-run
+    in the parent) without losing or duplicating answers.
 
     Parameters
     ----------
@@ -358,6 +484,19 @@ class Session:
         per IPC message (default 16).  Smaller chunks lower the latency to
         the first solution of a cell; larger chunks lower the queue
         overhead.  Per-call ``chunk_size=`` overrides it.
+    stream_grace_seconds:
+        How long a pool path waits on a **silent** result channel before
+        acting (default 5.0).  After a worker crash, silence this long
+        triggers serial degradation of the unfinished work (a killed worker
+        can poison the shared task queue, wedging the survivors); without a
+        crash, it is how long the streaming path keeps draining after every
+        worker returned before declaring missing terminal events an error.
+        Liveness-based: any message or crash observation resets the clock,
+        so slow cells are never cut off — only genuinely dead channels.
+    faults:
+        Test-only :class:`~repro.evaluation.faults.FaultPlan` injecting
+        deterministic worker faults into the pool paths; ``None`` (always,
+        in production) disables injection entirely.
 
     >>> from repro.sparql import parse_pattern
     >>> from repro.rdf import RDFGraph, Triple
@@ -377,6 +516,8 @@ class Session:
         max_engines: Optional[int] = None,
         warm_on_fork: bool = True,
         stream_chunk_size: int = 16,
+        stream_grace_seconds: float = 5.0,
+        faults: Optional[object] = None,
     ) -> None:
         if processes is not None and processes < 1:
             raise EvaluationError("processes must be a positive integer")
@@ -384,6 +525,8 @@ class Session:
             raise EvaluationError("max_engines must be a positive integer")
         if stream_chunk_size < 1:
             raise EvaluationError("stream_chunk_size must be a positive integer")
+        if stream_grace_seconds <= 0:
+            raise EvaluationError("stream_grace_seconds must be positive")
         self._cache = (
             cache if cache is not None else EvaluationCache(max_entries_per_graph)
         )
@@ -392,8 +535,14 @@ class Session:
             processes=processes,
             warm_on_fork=warm_on_fork,
             stream_chunk_size=stream_chunk_size,
+            faults=faults,
         )
         self._max_engines = max_engines
+        self._stream_grace_seconds = float(stream_grace_seconds)
+        self._faults = faults
+        # Session-lifetime resilience counters; per-call `statistics=`
+        # arguments additionally receive the events of their own call.
+        self._statistics = EvaluationStatistics()
         # Engine memo: key -> (source object, engine), insertion-ordered by
         # recency (hits re-insert).  The source reference keeps id()-based
         # keys valid while the entry lives; eviction drops both.
@@ -415,6 +564,14 @@ class Session:
         """How many engines the session currently memoizes."""
         return len(self._engines)
 
+    @property
+    def statistics(self) -> EvaluationStatistics:
+        """Session-lifetime counters (resilience events accumulate here
+        across calls; see
+        :meth:`EvaluationStatistics.resilience_summary
+        <repro.evaluation.wdeval.EvaluationStatistics.resilience_summary>`)."""
+        return self._statistics
+
     def __repr__(self) -> str:
         return (
             f"Session(<{len(self._engines)} engines, "
@@ -431,15 +588,168 @@ class Session:
         method name (``"spawn"`` / ``"forkserver"``) when forking is
         unavailable — in which case ``warm_on_fork=True`` cannot engage and
         pools run cold.  This is what the one-time cold-pool warning points
-        at, and what ``batch --stats`` prints.
+        at, and what ``batch --stats`` prints.  Once the session has seen
+        resilience events (worker crashes, serial degradations, deadline
+        trips, lost cells) the mode string carries a bracketed summary.
         """
         processes = processes if processes is not None else self._context.processes
         if processes is None or processes <= 1:
-            return "serial"
-        start_method = _start_method()
-        if start_method == "fork":
-            return "fork-warm" if self._context.warm_on_fork else "fork-cold"
-        return start_method
+            mode = "serial"
+        else:
+            start_method = _start_method()
+            if start_method == "fork":
+                mode = "fork-warm" if self._context.warm_on_fork else "fork-cold"
+            else:
+                mode = start_method
+        s = self._statistics
+        if s.worker_crashes or s.cells_degraded_serial or s.deadline_trips or s.cells_lost:
+            return f"{mode} [{s.resilience_summary()}]"
+        return mode
+
+    # --- resilience plumbing ------------------------------------------------
+    def _note(
+        self,
+        attr: str,
+        n: int = 1,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> None:
+        """Bump a resilience counter on the session (and per-call) stats."""
+        setattr(self._statistics, attr, getattr(self._statistics, attr) + n)
+        if statistics is not None:
+            setattr(statistics, attr, getattr(statistics, attr) + n)
+
+    def _trip(
+        self, statistics: Optional[EvaluationStatistics], exc: DeadlineExceeded
+    ) -> None:
+        """Account a deadline trip once, wherever it was first raised."""
+        self._statistics.deadline_trips += 1
+        if statistics is not None and exc.statistics is not statistics:
+            # Not yet accounted on this object by a lower layer (Engine
+            # attaches the statistics it bumped to the exception).
+            statistics.deadline_trips += 1
+            if exc.statistics is None:
+                exc.statistics = statistics
+
+    def _armed_faults(self, ctx) -> Optional[object]:
+        """The session's fault plan, armed for *ctx* (``None`` in production)."""
+        if self._faults is None:
+            return None
+        return self._faults.arm(ctx)  # type: ignore[union-attr]
+
+    @staticmethod
+    def _harvest(result):
+        """Unwrap one async result, normalising raw escapes to ReproError.
+
+        Library exceptions (including :class:`DeadlineExceeded`) pass
+        through unchanged; transport-layer failures (broken pipes, EOF on a
+        dead connection) become :class:`WorkerCrashError`; anything else a
+        worker raised becomes :class:`EvaluationError` — no raw
+        ``multiprocessing`` exception ever escapes a session entry point.
+        """
+        try:
+            return result.get()
+        except ReproError:
+            raise
+        except (OSError, EOFError, multiprocessing.ProcessError) as error:
+            raise WorkerCrashError(
+                f"worker result lost to a transport failure: "
+                f"{type(error).__name__}: {error}"
+            ) from None
+        except Exception as error:
+            raise EvaluationError(
+                f"evaluation worker failed: {type(error).__name__}: {error}"
+            ) from error
+
+    def _supervise(
+        self,
+        pool,
+        func,
+        tasks: Sequence[object],
+        serial_fallback,
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> Iterator[Tuple[int, object]]:
+        """Run *tasks* through *pool* with crash detection and bounded retry.
+
+        Every task is submitted individually (``apply_async``) and the
+        pool's worker processes are watched for deaths; recovery follows a
+        three-rung ladder:
+
+        1. healthy pool — results are harvested as they become ready;
+        2. after a crash, every unfinished task is resubmitted once on the
+           surviving/respawned workers (first completion wins, so a task
+           that was healthy all along is never answered twice);
+        3. a task whose retry is also lost — or any task still unfinished
+           once post-crash silence outlasts ``stream_grace_seconds`` (a
+           killed worker can die holding the shared task-queue lock and
+           wedge the survivors) — is re-run serially in the parent through
+           *serial_fallback*.
+
+        Yields ``(position, value)`` exactly once per task, in completion
+        order.  A *budget* is checked between sweeps, so a deadline fires
+        promptly even while the pool is quiet.
+        """
+        watch = _PoolWatch(pool)
+        pending: Dict[int, List[object]] = {}
+        attempts: Dict[int, int] = {}
+
+        def submit(position: int) -> bool:
+            try:
+                pending.setdefault(position, []).append(
+                    pool.apply_async(func, (tasks[position],))
+                )
+                return True
+            except Exception:  # pool already broken/closed: degrade
+                return False
+
+        def degrade(position: int) -> Tuple[int, object]:
+            pending.pop(position, None)
+            self._note("cells_degraded_serial", statistics=statistics)
+            return position, serial_fallback(position)
+
+        for position in range(len(tasks)):
+            attempts[position] = 1
+            if not submit(position):
+                yield degrade(position)
+        last_progress = monotonic()
+        while pending:
+            if budget is not None:
+                budget.check()  # raises DeadlineExceeded; pool exits with us
+            progressed = False
+            for position in sorted(pending):
+                value, completed = None, False
+                for result in pending[position]:
+                    if result.ready():
+                        value = self._harvest(result)
+                        completed = True
+                        break
+                if completed:
+                    del pending[position]
+                    progressed = True
+                    last_progress = monotonic()
+                    yield position, value
+            if not pending:
+                break
+            fresh = watch.poll()
+            if fresh:
+                self._note("worker_crashes", fresh, statistics)
+                last_progress = monotonic()
+                sleep(_CRASH_BACKOFF_SECONDS)
+                # The dying worker's in-flight task is unknowable from the
+                # outside, so resubmit *all* unfinished tasks; duplicates
+                # are harmless (first completion wins) and the common case
+                # is a handful of stragglers.
+                for position in sorted(pending):
+                    attempts[position] += 1
+                    if attempts[position] > _MAX_TASK_ATTEMPTS or not submit(position):
+                        yield degrade(position)
+            elif watch.crashes and monotonic() - last_progress >= self._stream_grace_seconds:
+                # Post-crash stall: the retry never surfaced either (e.g. a
+                # poisoned task queue).  Stop waiting on the pool entirely.
+                for position in sorted(pending):
+                    yield degrade(position)
+            if pending and not progressed:
+                sleep(0.005)
 
     # --- engines -----------------------------------------------------------
     def engine(self, pattern: PatternLike, width_bound: Optional[int] = None) -> Engine:
@@ -524,11 +834,27 @@ class Session:
         method: str = "auto",
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> bool:
-        """Decide ``µ ∈ ⟦P⟧G`` through the session cache."""
-        return self.engine(pattern).contains(
-            graph, mu, method=method, width=width, statistics=statistics
-        )
+        """Decide ``µ ∈ ⟦P⟧G`` through the session cache.
+
+        ``deadline`` (seconds) or an explicit ``budget`` bounds the check;
+        a violation raises :class:`~repro.exceptions.DeadlineExceeded`.
+        """
+        try:
+            return self.engine(pattern).contains(
+                graph,
+                mu,
+                method=method,
+                width=width,
+                statistics=statistics,
+                deadline=deadline,
+                budget=budget,
+            )
+        except DeadlineExceeded as exc:
+            self._trip(statistics, exc)
+            raise
 
     def check_many(
         self,
@@ -539,6 +865,8 @@ class Session:
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
         processes: Optional[int] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> List[bool]:
         """Decide ``µ ∈ ⟦P⟧G`` for every mapping, in input order.
 
@@ -546,15 +874,22 @@ class Session:
         :meth:`Engine.contains` calls would, but sharing the cache across
         instances, deduplicating repeated mappings, resolving the method
         once per batch, and — when *processes* (or the session default) asks
-        for it — fanning the instances out over a worker pool.
+        for it — fanning the instances out over a worker pool.  The pool is
+        crash-tolerant: tasks of a killed worker are retried once and then
+        re-run serially in the parent (events are counted on *statistics*
+        and on :attr:`statistics`).  ``deadline``/``budget`` bound the whole
+        batch, parent and workers alike; a violation raises
+        :class:`~repro.exceptions.DeadlineExceeded`.
 
-        *statistics* is only accumulated on the serial path; worker-side
+        The algorithmic counters of *statistics* (trees visited, child
+        checks, ...) are only accumulated on the serial path; worker-side
         counters are not collected.
         """
         engine = self.engine(pattern)
         mappings = list(mappings)
         if not mappings:
             return []
+        run_budget = budget_from(deadline, budget)
         plan = engine.plan(method, width, graph=graph)
         strategy = plan.strategy_obj
         unique: List[Mapping] = []
@@ -565,23 +900,38 @@ class Session:
                 unique.append(mu)
 
         processes = processes if processes is not None else self._context.processes
-        if (
-            processes is not None
-            and processes > 1
-            and len(unique) > 1
-            and strategy.parallel_safe
-        ):
-            answers = dict(zip(unique, self._parallel_contains(engine, graph, unique, plan, processes)))
-        else:
-            context = self._context.with_statistics(statistics)
-            answers = dict(
-                zip(
-                    unique,
-                    strategy.contains_many(
-                        engine.pattern, engine.forest, graph, unique, plan, context
-                    ),
+        try:
+            if run_budget is not None:
+                run_budget.check()  # pre-expired budgets trip up front
+            if (
+                processes is not None
+                and processes > 1
+                and len(unique) > 1
+                and strategy.parallel_safe
+            ):
+                answers = dict(
+                    zip(
+                        unique,
+                        self._parallel_contains(
+                            engine, graph, unique, plan, processes, run_budget, statistics
+                        ),
+                    )
                 )
-            )
+            else:
+                context = self._context.with_statistics(statistics).with_budget(
+                    run_budget
+                )
+                answers = dict(
+                    zip(
+                        unique,
+                        strategy.contains_many(
+                            engine.pattern, engine.forest, graph, unique, plan, context
+                        ),
+                    )
+                )
+        except DeadlineExceeded as exc:
+            self._trip(statistics, exc)
+            raise
         return [answers[mu] for mu in mappings]
 
     def check_iter(
@@ -593,6 +943,8 @@ class Session:
         width: Optional[int] = None,
         statistics: Optional[EvaluationStatistics] = None,
         processes: Optional[int] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> Iterator[bool]:
         """Stream the verdicts of :meth:`check_many`, in input order.
 
@@ -601,15 +953,18 @@ class Session:
         decided, instead of blocking until the whole batch is done (what
         ``batch --stream`` prints).  Repeated mappings replay their first
         verdict.  With *processes* (or the session default) the distinct
-        mappings fan out over the same worker pool as :meth:`check_many`
-        (small chunks, so verdicts surface promptly) and the workers'
-        learned state is absorbed back into the session cache; *statistics*
-        is only accumulated on the serial path.
+        mappings fan out over the same crash-tolerant worker pool as
+        :meth:`check_many` and the workers' learned state is absorbed back
+        into the session cache; the algorithmic *statistics* counters are
+        only accumulated on the serial path.  ``deadline``/``budget`` bound
+        the whole stream and raise
+        :class:`~repro.exceptions.DeadlineExceeded` mid-iteration.
         """
         engine = self.engine(pattern)
         mappings = list(mappings)
         if not mappings:
             return
+        run_budget = budget_from(deadline, budget)
         plan = engine.plan(method, width, graph=graph)
         strategy = plan.strategy_obj
         unique: List[Mapping] = []
@@ -619,23 +974,34 @@ class Session:
                 seen.add(mu)
                 unique.append(mu)
         processes = processes if processes is not None else self._context.processes
-        if (
-            processes is not None
-            and processes > 1
-            and len(unique) > 1
-            and strategy.parallel_safe
-        ):
-            yield from self._parallel_check_iter(
-                engine, graph, mappings, unique, plan, processes
-            )
-            return
-        known: Dict[Mapping, bool] = {}
-        for mu in mappings:
-            if mu not in known:
-                known[mu] = engine.contains(
-                    graph, mu, method=method, width=width, statistics=statistics
+        try:
+            if run_budget is not None:
+                run_budget.check()  # pre-expired budgets trip up front
+            if (
+                processes is not None
+                and processes > 1
+                and len(unique) > 1
+                and strategy.parallel_safe
+            ):
+                yield from self._parallel_check_iter(
+                    engine, graph, mappings, unique, plan, processes, run_budget, statistics
                 )
-            yield known[mu]
+                return
+            known: Dict[Mapping, bool] = {}
+            for mu in mappings:
+                if mu not in known:
+                    known[mu] = engine.contains(
+                        graph,
+                        mu,
+                        method=method,
+                        width=width,
+                        statistics=statistics,
+                        budget=run_budget,
+                    )
+                yield known[mu]
+        except DeadlineExceeded as exc:
+            self._trip(statistics, exc)
+            raise
 
     def _parallel_check_iter(
         self,
@@ -645,17 +1011,35 @@ class Session:
         unique: Sequence[Mapping],
         plan: Plan,
         processes: int,
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
     ) -> Iterator[bool]:
         """Fan distinct mappings out and yield verdicts in input order.
 
-        The pool answers the distinct mappings in first-occurrence order
-        (``imap`` with chunk size 1, so verdicts stream back promptly); the
-        k-th input mapping's verdict only needs the first k distinct results
-        — the consumer never waits for the whole batch.
+        Tasks are supervised individually (see :meth:`_supervise`), so a
+        crashed worker costs one retry — or, at worst, a serial re-check in
+        the parent — never a hung iterator; the k-th input mapping's verdict
+        is released as soon as its distinct instance is decided.
         """
         processes = min(processes, len(unique))
         ctx, warm_engine = self._membership_pool_setup(engine, graph, plan)
+        faults = self._armed_faults(ctx)
         trees = list(engine.forest)
+        tasks: List[Tuple[int, Mapping]] = list(enumerate(unique))
+        index_of = {mu: position for position, mu in tasks}
+
+        def fallback(position: int):
+            return (
+                engine.contains(
+                    graph,
+                    unique[position],
+                    method=plan.strategy,
+                    width=plan.width,
+                    budget=budget,
+                ),
+                None,
+            )
+
         with ctx.Pool(
             processes,
             initializer=_init_worker,
@@ -667,19 +1051,22 @@ class Session:
                 plan.width,
                 warm_engine,
                 graph.version,
+                budget,
+                faults,
             ),
         ) as pool:
-            results = pool.imap(_worker_contains, unique, chunksize=1)
-            known: Dict[Mapping, bool] = {}
-            drained = 0
+            supervised = self._supervise(
+                pool, _worker_contains, tasks, fallback, budget, statistics
+            )
+            verdicts: Dict[int, bool] = {}
             for mu in mappings:
-                while mu not in known:
-                    answer, delta = next(results)
+                wanted = index_of[mu]
+                while wanted not in verdicts:
+                    position, (answer, delta) = next(supervised)
                     if delta is not None:
                         self._cache.absorb(delta, [graph], trees)
-                    known[unique[drained]] = answer
-                    drained += 1
-                yield known[mu]
+                    verdicts[position] = answer
+                yield verdicts[wanted]
 
     def _membership_pool_setup(
         self, engine: Engine, graph: RDFGraph, plan: Plan
@@ -707,6 +1094,8 @@ class Session:
         mappings: Sequence[Mapping],
         plan: Plan,
         processes: int,
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
     ) -> List[bool]:
         processes = min(processes, len(mappings))
         chunksize = max(1, len(mappings) // (processes * 4))
@@ -715,7 +1104,22 @@ class Session:
             for start in range(0, len(mappings), chunksize)
         ]
         ctx, warm_engine = self._membership_pool_setup(engine, graph, plan)
+        faults = self._armed_faults(ctx)
         trees = list(engine.forest)
+        tasks: List[Tuple[int, List[Mapping]]] = list(enumerate(chunks))
+
+        def fallback(position: int):
+            return (
+                [
+                    engine.contains(
+                        graph, mu, method=plan.strategy, width=plan.width, budget=budget
+                    )
+                    for mu in chunks[position]
+                ],
+                None,
+            )
+
+        collected: Dict[int, List[bool]] = {}
         with ctx.Pool(
             processes,
             initializer=_init_worker,
@@ -727,14 +1131,19 @@ class Session:
                 plan.width,
                 warm_engine,
                 graph.version,
+                budget,
+                faults,
             ),
         ) as pool:
-            results = pool.map(_worker_contains_chunk, chunks, chunksize=1)
+            for position, (chunk_answers, delta) in self._supervise(
+                pool, _worker_contains_chunk, tasks, fallback, budget, statistics
+            ):
+                if delta is not None:
+                    self._cache.absorb(delta, [graph], trees)
+                collected[position] = chunk_answers
         answers: List[bool] = []
-        for chunk_answers, delta in results:
-            if delta is not None:
-                self._cache.absorb(delta, [graph], trees)
-            answers.extend(chunk_answers)
+        for position in range(len(chunks)):
+            answers.extend(collected[position])
         return answers
 
     def warm(
@@ -762,20 +1171,61 @@ class Session:
 
     # --- enumeration -------------------------------------------------------
     def solutions_stream(
-        self, pattern: PatternLike, graph: RDFGraph, method: str = "auto"
+        self,
+        pattern: PatternLike,
+        graph: RDFGraph,
+        method: str = "auto",
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> Iterator[Mapping]:
         """Stream ``⟦P⟧G`` lazily as a deduplicated generator.
 
         ``method="auto"`` resolves to the natural strategy (the planner
-        rejects the pebble strategy, which decides membership only).
+        rejects the pebble strategy, which decides membership only).  A
+        violated ``deadline``/``budget`` raises
+        :class:`~repro.exceptions.DeadlineExceeded` mid-stream.
         """
-        return self.engine(pattern).solutions_stream(graph, method)
+        return self.engine(pattern).solutions_stream(graph, method, deadline, budget)
+
+    def _cell_solutions(
+        self,
+        engine: Engine,
+        graph: RDFGraph,
+        method: str,
+        budget: Optional[Budget],
+    ) -> Set[Mapping]:
+        """One cell's full answer set, attaching partials on a deadline trip."""
+        partial: Set[Mapping] = set()
+        try:
+            for mu in engine.solutions_stream(graph, method, budget=budget):
+                partial.add(mu)
+        except DeadlineExceeded as exc:
+            if not exc.partial:
+                exc.partial = tuple(partial)
+            raise
+        return partial
 
     def solutions(
-        self, pattern: PatternLike, graph: RDFGraph, method: str = "auto"
+        self,
+        pattern: PatternLike,
+        graph: RDFGraph,
+        method: str = "auto",
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
     ) -> Set[Mapping]:
-        """Enumerate the full answer set ``⟦P⟧G`` through the session cache."""
-        return set(self.solutions_stream(pattern, graph, method))
+        """Enumerate the full answer set ``⟦P⟧G`` through the session cache.
+
+        A violated ``deadline``/``budget`` raises
+        :class:`~repro.exceptions.DeadlineExceeded` whose ``partial``
+        attribute carries the solutions found before the trip.
+        """
+        try:
+            return self._cell_solutions(
+                self.engine(pattern), graph, method, budget_from(deadline, budget)
+            )
+        except DeadlineExceeded as exc:
+            self._trip(None, exc)
+            raise
 
     def _distinct_cells(
         self, engines: Sequence[Engine], graph_list: Sequence[RDFGraph]
@@ -881,6 +1331,8 @@ class Session:
         order: Sequence[Tuple[Engine, RDFGraph, Tuple[int, int]]],
         method: str,
         processes: Optional[int],
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
     ) -> Iterator[Tuple[Tuple[int, int], Set[Mapping]]]:
         """Enumerate every distinct cell, yielding ``(key, answers)`` pairs.
 
@@ -888,19 +1340,20 @@ class Session:
         submission order through the session cache.  With a pool, cells the
         parent cache can already answer completely are **replayed first
         without touching the pool** (this is what makes a repeated parallel
-        batch cheap); the remaining cells fan out to enumeration workers
-        and are yielded as they complete.  On the ``fork`` start method the
-        parent first warms the µ-independent state of every pending cell
-        (respecting ``warm_on_fork``) and workers inherit the live session,
-        so they replay memoized searches instead of rebuilding caches from
-        scratch; every worker ships its learned state back as a
-        :class:`~repro.evaluation.cache.CacheDelta` which the parent
-        absorbs before yielding the cell.
+        batch cheap); the remaining cells fan out to supervised enumeration
+        workers (crash ladder: retry once, then serial re-run in the
+        parent) and are yielded as they complete.  On the ``fork`` start
+        method the parent first warms the µ-independent state of every
+        pending cell (respecting ``warm_on_fork``) and workers inherit the
+        live session, so they replay memoized searches instead of
+        rebuilding caches from scratch; every worker ships its learned
+        state back as a :class:`~repro.evaluation.cache.CacheDelta` which
+        the parent absorbs before yielding the cell.
         """
         processes = processes if processes is not None else self._context.processes
         if processes is None or processes <= 1 or len(order) <= 1:
             for engine, graph, key in order:
-                yield key, self.solutions(engine, graph, method=method)
+                yield key, self._cell_solutions(engine, graph, method, budget)
             return
         # Validate the method once in the parent, *before* the replay
         # short-circuit (a warm session must reject e.g. "pebble" exactly
@@ -917,17 +1370,57 @@ class Session:
         workers = min(processes, len(pending))
         parent_versions = [graph.version for graph in graphs]
         trees = [tree for forest in forests for tree in forest]
+        faults = self._armed_faults(ctx)
+
+        def fallback(position: int):
+            engine, graph, _key = pending[position]
+            return self._cell_solutions(engine, graph, method, budget), None
+
         with ctx.Pool(
             workers,
             initializer=_init_enum_worker,
-            initargs=(forests, graphs, method, warm_session, parent_versions),
+            initargs=(
+                forests,
+                graphs,
+                method,
+                warm_session,
+                parent_versions,
+                None,
+                1,
+                budget,
+                faults,
+            ),
         ) as pool:
-            for position, answers, delta in pool.imap_unordered(
-                _enum_worker_cell, tasks
+            for position, (answers, delta) in self._supervise(
+                pool, _enum_worker_cell, tasks, fallback, budget, statistics
             ):
                 if delta is not None:
                     self._cache.absorb(delta, graphs, trees)
                 yield pending[position][2], answers
+
+    def _stream_timeout_report(
+        self,
+        budget: Optional[Budget],
+        cells_done: int,
+        outstanding: Set[int],
+        solutions_yielded: int,
+        statistics: Optional[EvaluationStatistics],
+    ) -> TimeoutReport:
+        """The terminal report a deadline-tripped streaming batch yields."""
+        elapsed, allowance = 0.0, None
+        if budget is not None:
+            elapsed = budget.elapsed()
+            if budget.expires_at is not None:
+                allowance = budget.expires_at - budget.started_at
+        return TimeoutReport(
+            elapsed=elapsed,
+            deadline=allowance,
+            cells_done=cells_done,
+            cells_pending=len(outstanding),
+            solutions_yielded=solutions_yielded,
+            statistics=statistics,
+            pending=tuple(f"cell #{position}" for position in sorted(outstanding)),
+        )
 
     def _stream_distinct(
         self,
@@ -935,7 +1428,9 @@ class Session:
         method: str,
         processes: int,
         chunk_size: int,
-    ) -> Iterator[Tuple[str, Tuple[int, int], List[Mapping]]]:
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> Iterator[Tuple[str, Optional[Tuple[int, int]], object]]:
         """Stream every distinct cell as ``("chunk"|"done", key, mappings)``.
 
         The true cross-process streaming core of :meth:`solutions_iter`:
@@ -948,6 +1443,22 @@ class Session:
         closing ``done`` event carries no payload — every solution has
         already been emitted through the cell's chunks, and consumers that
         need a cell's complete list accumulate those.
+
+        **Every submitted cell produces exactly one terminal event.**  The
+        drain is liveness-based (any message or crash observation resets a
+        ``stream_grace_seconds`` clock; there is no fixed overall grace):
+
+        * a worker crash followed by a silent queue degrades every
+          unfinished cell to a serial re-run in the parent, emitting only
+          the solutions that had not already been streamed (so answers are
+          neither lost nor duplicated) and closing each cell with its
+          ``done``;
+        * a tripped *budget* emits one terminal ``("timeout", None,
+          TimeoutReport)`` event and stops;
+        * workers that all returned while cells still lack their terminal
+          event — the silent-loss case — are reported as a clear
+          :class:`~repro.exceptions.EvaluationError` with the shortfall
+          counted in ``cells_lost``, never swallowed.
         """
         # Same up-front validation as _enumerate_distinct: a warm session
         # whose every cell replays must still reject invalid methods.
@@ -964,6 +1475,7 @@ class Session:
         workers = min(processes, len(pending))
         parent_versions = [graph.version for graph in graphs]
         trees = [tree for forest in forests for tree in forest]
+        faults = self._armed_faults(ctx)
         try:
             # Bounded: workers block once the parent falls this many chunks
             # behind, instead of buffering whole cells in the pipe.
@@ -974,6 +1486,14 @@ class Session:
                 f"are unavailable on this platform ({error}); run "
                 "solutions_iter serially (processes=None) instead"
             ) from error
+        grace = self._stream_grace_seconds
+        #: Per-position solutions already handed to the consumer — the dedup
+        #: ledger that makes serial degradation emit each answer exactly once.
+        emitted: Dict[int, Set[Mapping]] = {
+            position: set() for position, _fi, _gi in tasks
+        }
+        cells_done = len(replayed)
+        solutions_yielded = 0
         with ctx.Pool(
             workers,
             initializer=_init_enum_worker,
@@ -985,45 +1505,142 @@ class Session:
                 parent_versions,
                 queue,
                 chunk_size,
+                budget,
+                faults,
             ),
         ) as pool:
-            result = pool.map_async(_enum_stream_worker_cell, tasks)
+            results = [
+                pool.apply_async(_enum_stream_worker_cell, (task,)) for task in tasks
+            ]
+            watch = _PoolWatch(pool)
             outstanding = {position for position, _fi, _gi in tasks}
-            grace_deadline: Optional[float] = None
+            last_event = monotonic()
+            degraded = False
             while outstanding:
+                if budget is not None and budget.expired():
+                    self._note("deadline_trips", statistics=statistics)
+                    yield (
+                        "timeout",
+                        None,
+                        self._stream_timeout_report(
+                            budget, cells_done, outstanding, solutions_yielded, statistics
+                        ),
+                    )
+                    return
+                fresh = watch.poll()
+                if fresh:
+                    self._note("worker_crashes", fresh, statistics)
+                    last_event = monotonic()  # grace counts from the crash
                 try:
-                    message = queue.get(timeout=0.1)
+                    message = queue.get(timeout=0.05)
                 except Empty:
-                    if result.ready():
-                        result.get()  # surfaces pool-level failures
-                        # The workers have returned, but queue.put only
-                        # hands messages to a feeder thread — the final
-                        # "done" may still be in flight.  Keep draining
-                        # for a grace period before declaring failure.
-                        if grace_deadline is None:
-                            grace_deadline = monotonic() + 5.0
-                        elif monotonic() > grace_deadline:
-                            raise EvaluationError(
-                                "streaming enumeration workers exited "
-                                "without completing every cell"
-                            )
+                    message = None
+                except (OSError, ValueError, EOFError) as error:
+                    raise WorkerCrashError(
+                        f"streaming result queue failed mid-batch: "
+                        f"{type(error).__name__}: {error}"
+                    ) from None
+                if message is None:
+                    quiet = monotonic() - last_event
+                    if watch.crashes and quiet >= grace:
+                        # A worker died and the queue has gone silent: the
+                        # missing terminal events will never arrive (a killed
+                        # worker can even poison the shared task queue and
+                        # wedge the survivors).  Stop reading and degrade.
+                        degraded = True
+                        break
+                    if not watch.crashes and quiet >= grace and all(
+                        result.ready() for result in results
+                    ):
+                        # Every worker returned cleanly, nothing in flight,
+                        # yet cells lack their terminal event: silent loss.
+                        for result in results:
+                            self._harvest(result)  # surface hidden failures
+                        self._note("cells_lost", len(outstanding), statistics)
+                        raise EvaluationError(
+                            f"streaming enumeration lost {len(outstanding)} "
+                            f"cell(s): all workers exited but no terminal "
+                            f"event arrived for position(s) "
+                            f"{sorted(outstanding)} within "
+                            f"{grace:.1f}s of queue silence"
+                        )
                     continue
+                last_event = monotonic()
                 tag, position = message[0], message[1]
+                if tag == "deadline":
+                    self._note("deadline_trips", statistics=statistics)
+                    yield (
+                        "timeout",
+                        None,
+                        self._stream_timeout_report(
+                            budget, cells_done, outstanding, solutions_yielded, statistics
+                        ),
+                    )
+                    return
                 key = pending[position][2]
                 if tag == "chunk":
-                    yield ("chunk", key, message[2])
+                    fresh_solutions = [
+                        mu for mu in message[2] if mu not in emitted[position]
+                    ]
+                    if fresh_solutions:
+                        emitted[position].update(fresh_solutions)
+                        solutions_yielded += len(fresh_solutions)
+                        yield ("chunk", key, fresh_solutions)
                 elif tag == "done":
+                    if position not in outstanding:
+                        continue  # duplicate terminal (already degraded/served)
                     tail, delta = message[2], message[3]
                     if delta is not None:
                         self._cache.absorb(delta, graphs, trees)
                     outstanding.discard(position)
-                    if tail:
-                        yield ("chunk", key, tail)
+                    cells_done += 1
+                    fresh_solutions = [
+                        mu for mu in tail if mu not in emitted[position]
+                    ]
+                    if fresh_solutions:
+                        emitted[position].update(fresh_solutions)
+                        solutions_yielded += len(fresh_solutions)
+                        yield ("chunk", key, fresh_solutions)
                     yield ("done", key, [])
                 else:  # "error"
                     raise EvaluationError(
                         f"enumeration worker failed: {message[2]}"
                     )
+            if degraded and outstanding:
+                # Serial degradation: re-run every unfinished cell in the
+                # parent.  The queue is never read again (messages from
+                # surviving workers are deliberately dropped) — the parent's
+                # own enumeration is a superset, and the `emitted` ledger
+                # filters what the consumer already received, so each
+                # solution is delivered exactly once.
+                self._note("cells_degraded_serial", len(outstanding), statistics)
+                for position in sorted(outstanding):
+                    engine, graph, key = pending[position]
+                    try:
+                        answers = self._cell_solutions(engine, graph, method, budget)
+                    except DeadlineExceeded:
+                        self._note("deadline_trips", statistics=statistics)
+                        yield (
+                            "timeout",
+                            None,
+                            self._stream_timeout_report(
+                                budget,
+                                cells_done,
+                                outstanding,
+                                solutions_yielded,
+                                statistics,
+                            ),
+                        )
+                        return
+                    outstanding.discard(position)
+                    cells_done += 1
+                    fresh_solutions = [
+                        mu for mu in answers if mu not in emitted[position]
+                    ]
+                    if fresh_solutions:
+                        solutions_yielded += len(fresh_solutions)
+                        yield ("chunk", key, fresh_solutions)
+                    yield ("done", key, [])
 
     def solutions_many(
         self,
@@ -1031,6 +1648,9 @@ class Session:
         graphs: Union[RDFGraph, Sequence[RDFGraph]],
         method: str = "auto",
         processes: Optional[int] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
     ) -> Union[List[Set[Mapping]], List[List[Set[Mapping]]]]:
         """Batched enumeration over many patterns × many graphs.
 
@@ -1041,19 +1661,28 @@ class Session:
         :class:`~repro.sparql.algebra.GraphPattern` inputs) or repeated
         graphs — are enumerated **once** and fanned back out, all cells
         share the session cache, and *processes* (or the session default)
-        enumerates distinct cells in parallel (with warm worker forks, see
-        :meth:`solutions_iter`).  Answer sets are guaranteed identical to
-        per-pattern :meth:`Engine.solutions
-        <repro.evaluation.engine.Engine.solutions>` calls.  For results as
+        enumerates distinct cells in parallel (with warm worker forks and
+        the crash-recovery ladder of :meth:`solutions_iter`).  Answer sets
+        are guaranteed identical to per-pattern :meth:`Engine.solutions
+        <repro.evaluation.engine.Engine.solutions>` calls — including
+        across worker crashes, which cost a retry or a serial re-run, never
+        an answer.  ``deadline``/``budget`` bound the whole batch and raise
+        :class:`~repro.exceptions.DeadlineExceeded`; resilience events are
+        counted on *statistics* and on :attr:`statistics`.  For results as
         they complete, use :meth:`solutions_iter`.
         """
         single = isinstance(graphs, RDFGraph)
         graph_list: List[RDFGraph] = [graphs] if single else list(graphs)
         engines = [self.engine(pattern) for pattern in patterns]
+        run_budget = budget_from(deadline, budget)
         order = self._distinct_cells(engines, graph_list)
-        distinct: Dict[Tuple[int, int], Set[Mapping]] = dict(
-            self._enumerate_distinct(order, method, processes)
-        )
+        try:
+            distinct: Dict[Tuple[int, int], Set[Mapping]] = dict(
+                self._enumerate_distinct(order, method, processes, run_budget, statistics)
+            )
+        except DeadlineExceeded as exc:
+            self._trip(statistics, exc)
+            raise
 
         # Duplicate cells fan out as *independent copies*, exactly like the
         # equivalent loop of per-pattern Engine.solutions calls; a cell used
@@ -1083,7 +1712,10 @@ class Session:
         order: str = "submitted",
         processes: Optional[int] = None,
         chunk_size: Optional[int] = None,
-    ) -> Iterator[Tuple[Tuple[int, int], Mapping]]:
+        deadline: Optional[float] = None,
+        budget: Optional[Budget] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> Iterator[Union[Tuple[Tuple[int, int], Mapping], TimeoutReport]]:
         """Stream batched enumeration results as they are discovered.
 
         Yields ``((pattern_index, graph_index), mapping)`` pairs covering
@@ -1107,7 +1739,15 @@ class Session:
         order).  Parallel runs use the same warm-fork worker path and
         :class:`~repro.evaluation.cache.CacheDelta` return channel as
         :meth:`solutions_many`, so repeated batches replay from the parent
-        cache.
+        cache — and the same crash-recovery ladder, so a killed worker
+        costs a retry or a serial re-run, never a hung consumer or a
+        missing solution.
+
+        With a ``deadline``/``budget``, the stream yields whatever it
+        discovered in time and then **exactly one terminal**
+        :class:`~repro.evaluation.budget.TimeoutReport` (instead of raising
+        mid-iteration), then stops; check ``isinstance(item,
+        TimeoutReport)`` when consuming bounded streams.
         """
         if order not in ("submitted", "completed"):
             raise EvaluationError(
@@ -1118,6 +1758,7 @@ class Session:
         single = isinstance(graphs, RDFGraph)
         graph_list: List[RDFGraph] = [graphs] if single else list(graphs)
         engines = [self.engine(pattern) for pattern in patterns]
+        run_budget = budget_from(deadline, budget)
         cells: List[Tuple[Tuple[int, int], Tuple[int, int]]] = [
             ((i, j), (id(engine), id(graph)))
             for i, engine in enumerate(engines)
@@ -1135,19 +1776,44 @@ class Session:
             # is consumed lazily; repeats replay the recorded answers.
             by_key = {key: (engine, graph) for engine, graph, key in distinct}
             done: Dict[Tuple[int, int], Set[Mapping]] = {}
-            for cell, key in cells:
-                if key in done:
-                    for mu in done[key]:
+            cells_done = 0
+            solutions_yielded = 0
+            try:
+                for cell, key in cells:
+                    if key in done:
+                        for mu in done[key]:
+                            yield cell, mu
+                            solutions_yielded += 1
+                        cells_done += 1
+                        continue
+                    engine, graph = by_key[key]
+                    recorder: Optional[Set[Mapping]] = set() if uses[key] > 1 else None
+                    for mu in engine.solutions_stream(graph, method, budget=run_budget):
+                        if recorder is not None:
+                            recorder.add(mu)
                         yield cell, mu
-                    continue
-                engine, graph = by_key[key]
-                recorder: Optional[Set[Mapping]] = set() if uses[key] > 1 else None
-                for mu in self.solutions_stream(engine, graph, method=method):
+                        solutions_yielded += 1
                     if recorder is not None:
-                        recorder.add(mu)
-                    yield cell, mu
-                if recorder is not None:
-                    done[key] = recorder
+                        done[key] = recorder
+                    cells_done += 1
+            except DeadlineExceeded:
+                self._note("deadline_trips", statistics=statistics)
+                elapsed, allowance = 0.0, None
+                if run_budget is not None:
+                    elapsed = run_budget.elapsed()
+                    if run_budget.expires_at is not None:
+                        allowance = run_budget.expires_at - run_budget.started_at
+                yield TimeoutReport(
+                    elapsed=elapsed,
+                    deadline=allowance,
+                    cells_done=cells_done,
+                    cells_pending=len(cells) - cells_done,
+                    solutions_yielded=solutions_yielded,
+                    statistics=statistics,
+                    pending=tuple(
+                        f"cell {cell}" for cell, _key in cells[cells_done:]
+                    ),
+                )
             return
 
         chunk = (
@@ -1155,17 +1821,22 @@ class Session:
             if chunk_size is not None
             else self._context.stream_chunk_size
         )
-        events = self._stream_distinct(distinct, method, processes, chunk)
+        events = self._stream_distinct(
+            distinct, method, processes, chunk, run_budget, statistics
+        )
 
         if order == "completed":
             positions: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
             for cell, key in cells:
                 positions.setdefault(key, []).append(cell)
-            for tag, key, mappings in events:
+            for tag, key, payload in events:
+                if tag == "timeout":
+                    yield payload  # the terminal TimeoutReport
+                    return
                 if tag != "chunk":
                     continue  # "done" closes a cell; its chunks are yielded
                 for cell in positions[key]:
-                    for mu in mappings:
+                    for mu in payload:
                         yield cell, mu
             return
 
@@ -1187,9 +1858,12 @@ class Session:
                 yield cell, mu
                 emitted += 1
             while key not in finished:
-                tag, event_key, mappings = next(events)
+                tag, event_key, payload = next(events)
+                if tag == "timeout":
+                    yield payload  # the terminal TimeoutReport
+                    return
                 if tag == "chunk":
-                    buffers.setdefault(event_key, []).extend(mappings)
+                    buffers.setdefault(event_key, []).extend(payload)
                     if event_key == key:
                         buffered = buffers[key]
                         while emitted < len(buffered):
@@ -1201,5 +1875,5 @@ class Session:
                 yield cell, mu
         # Drain cells that finished after the last position needing them so
         # their workers' deltas are still absorbed into the session cache.
-        for _tag, _key, _mappings in events:
+        for _tag, _key, _payload in events:
             pass

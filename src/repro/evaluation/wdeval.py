@@ -55,19 +55,70 @@ _PLAIN_CONTEXT = EvalContext()
 
 
 class EvaluationStatistics:
-    """Counters describing one membership check (used by the benchmarks)."""
+    """Counters describing one evaluation run (used by the benchmarks).
 
-    __slots__ = ("trees_visited", "subtree_found", "child_checks")
+    Besides the algorithmic counters (trees visited, witness subtrees found,
+    child extension tests), the resilience layer accounts here too:
+
+    * ``worker_crashes`` — pool workers observed dead (SIGKILL, OOM, ...);
+    * ``cells_degraded_serial`` — ``(pattern, graph)`` cells re-run serially
+      in the parent after the parallel path failed twice;
+    * ``deadline_trips`` — budget violations surfaced by this run;
+    * ``cells_lost`` — cells that produced no terminal event at pool exit
+      (always reported, never silently swallowed).
+    """
+
+    __slots__ = (
+        "trees_visited",
+        "subtree_found",
+        "child_checks",
+        "worker_crashes",
+        "cells_degraded_serial",
+        "deadline_trips",
+        "cells_lost",
+    )
 
     def __init__(self) -> None:
         self.trees_visited = 0
         self.subtree_found = 0
         self.child_checks = 0
+        self.worker_crashes = 0
+        self.cells_degraded_serial = 0
+        self.deadline_trips = 0
+        self.cells_lost = 0
+
+    def merge(self, other: "EvaluationStatistics") -> None:
+        """Accumulate *other*'s counters into this instance."""
+        for slot in self.__slots__:
+            setattr(self, slot, getattr(self, slot) + getattr(other, slot))
+
+    def resilience_summary(self) -> str:
+        """One line for ``batch --stats`` and the session accumulator."""
+        return (
+            f"{self.worker_crashes} worker crash(es), "
+            f"{self.cells_degraded_serial} cell(s) degraded serial, "
+            f"{self.deadline_trips} deadline trip(s), "
+            f"{self.cells_lost} cell(s) lost"
+        )
 
     def __repr__(self) -> str:
+        extra = ""
+        if any(
+            (
+                self.worker_crashes,
+                self.cells_degraded_serial,
+                self.deadline_trips,
+                self.cells_lost,
+            )
+        ):
+            extra = (
+                f", crashes={self.worker_crashes}, "
+                f"degraded={self.cells_degraded_serial}, "
+                f"deadline_trips={self.deadline_trips}, lost={self.cells_lost}"
+            )
         return (
             f"EvaluationStatistics(trees={self.trees_visited}, "
-            f"subtrees={self.subtree_found}, child_checks={self.child_checks})"
+            f"subtrees={self.subtree_found}, child_checks={self.child_checks}{extra})"
         )
 
 
@@ -195,6 +246,7 @@ def tree_solutions_stream(
     for subtree in tree.subtrees():
         child_pats = [tree.pat(child) for child in context.children_of(tree, subtree)]
         for hom in context.homomorphisms(subtree.pat(), graph):
+            context.tick()
             mu = Mapping(hom)
             if mu in seen:
                 continue

@@ -45,6 +45,46 @@ class EvaluationError(ReproError):
     mapping whose domain does not match the required distinguished set)."""
 
 
+class DeadlineExceeded(EvaluationError):
+    """Raised when an evaluation crosses its :class:`Budget` bounds.
+
+    Carries whatever progress information the raising layer had at hand:
+
+    * ``elapsed`` — seconds the evaluation ran before tripping;
+    * ``statistics`` — the ``EvaluationStatistics`` snapshot, attached by
+      the entry point that owned the statistics object (``None`` below it);
+    * ``partial`` — for enumeration, the solutions already produced before
+      the trip (an empty tuple elsewhere);
+    * ``budget`` — the violated budget object itself, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed: float | None = None,
+        statistics: object | None = None,
+        partial: tuple = (),
+        budget: object | None = None,
+    ) -> None:
+        self.elapsed = elapsed
+        self.statistics = statistics
+        self.partial = partial
+        self.budget = budget
+        super().__init__(message)
+
+
+class WorkerCrashError(EvaluationError):
+    """Raised when a pool worker died (SIGKILL, OOM, broken pipe) and the
+    session could not recover the affected work by retry or serial
+    degradation.  Wraps every raw ``multiprocessing`` / ``queue.Empty`` /
+    ``BrokenPipeError`` escape of the pool paths so callers only ever see
+    ``ReproError`` subtypes."""
+
+    def __init__(self, message: str, crashes: int = 1) -> None:
+        self.crashes = crashes
+        super().__init__(message)
+
+
 class WidthComputationError(ReproError):
     """Raised when a width measure cannot be computed for the given input."""
 

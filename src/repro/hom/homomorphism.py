@@ -331,8 +331,13 @@ def _search(
     source: Sequence[TriplePattern],
     index: TargetIndex,
     fixed: Dict[Variable, Term],
+    budget=None,
 ) -> Iterator[Dict[Variable, Term]]:
-    """Backtracking search with forward checking over maintained domains."""
+    """Backtracking search with forward checking over maintained domains.
+
+    *budget* is any object with an amortized ``tick()`` method (duck-typed
+    so this layer need not import the evaluation layer); it is ticked once
+    per value tried at a backtracking node, bounding the NP oracle."""
     source_vars: Set[Variable] = set()
     for t in source:
         source_vars.update(t.variables())
@@ -397,6 +402,8 @@ def _search(
             return
         var = min(remaining, key=lambda v: (len(current[v]), v.name))
         for value in sorted(current[var], key=str):
+            if budget is not None:
+                budget.tick()
             assignment[var] = value
             pruned = propagate(var, current)
             if pruned is not None:
@@ -411,13 +418,14 @@ def find_homomorphism(
     target: TGraph | RDFGraph | Iterable[TriplePattern],
     fixed: Optional[Mapping[Variable, Term]] = None,
     index: Optional[TargetIndex] = None,
+    budget=None,
 ) -> Optional[Dict[Variable, Term]]:
     """Find one homomorphism from *source* to *target* respecting *fixed*.
 
     Returns a dictionary with domain exactly ``vars(source)`` (including the
     fixed variables) or ``None`` when no homomorphism exists.
     """
-    for hom in all_homomorphisms(source, target, fixed, index):
+    for hom in all_homomorphisms(source, target, fixed, index, budget):
         return hom
     return None
 
@@ -427,12 +435,13 @@ def all_homomorphisms(
     target: TGraph | RDFGraph | Iterable[TriplePattern],
     fixed: Optional[Mapping[Variable, Term]] = None,
     index: Optional[TargetIndex] = None,
+    budget=None,
 ) -> Iterator[Dict[Variable, Term]]:
     """Iterate over all homomorphisms from *source* to *target*.
 
     A prebuilt *index* over the target (from :func:`target_index`) skips the
     per-call index construction; it must describe exactly the triples of
-    *target*.
+    *target*.  *budget* (any object with ``tick()``) bounds the search.
     """
     source_triples = list(source.triples() if isinstance(source, TGraph) else source)
     if index is None:
@@ -443,7 +452,7 @@ def all_homomorphisms(
         source_vars.update(t.variables())
     # Fixed bindings for variables not occurring in the source are irrelevant.
     fixed_dict = {v: t for v, t in fixed_dict.items() if v in source_vars}
-    yield from _search(source_triples, index, fixed_dict)
+    yield from _search(source_triples, index, fixed_dict, budget)
 
 
 def has_homomorphism(
@@ -501,6 +510,7 @@ def extends_into(
     graph: RDFGraph,
     mu: SolutionMapping,
     index: Optional[TargetIndex] = None,
+    budget=None,
 ) -> Optional[Dict[Variable, Term]]:
     """Find a homomorphism ``ν`` from *triples* to *graph* compatible with ``µ``.
 
@@ -513,4 +523,4 @@ def extends_into(
     for t in triples:
         relevant_vars.update(t.variables())
     fixed = {var: mu[var] for var in relevant_vars & mu.domain()}
-    return find_homomorphism(triples, graph, fixed, index)
+    return find_homomorphism(triples, graph, fixed, index, budget)

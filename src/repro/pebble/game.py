@@ -100,6 +100,7 @@ def pebble_game_winner(
     mu: Mapping,
     k: int,
     statistics: Optional[PebbleGameStatistics] = None,
+    budget=None,
 ) -> bool:
     """Decide whether the Duplicator wins the existential k-pebble game.
 
@@ -112,7 +113,7 @@ def pebble_game_winner(
     """
     from .kernel import ConsistencyKernel  # deferred: kernel imports this module
 
-    return ConsistencyKernel(gtgraph, graph, k).winner(mu, statistics)
+    return ConsistencyKernel(gtgraph, graph, k).winner(mu, statistics, budget)
 
 
 def reference_pebble_game_winner(

@@ -383,12 +383,17 @@ class ConsistencyKernel:
 
     # --- solving ------------------------------------------------------------
     def winner(
-        self, mu: Mapping, statistics: Optional[PebbleGameStatistics] = None
+        self,
+        mu: Mapping,
+        statistics: Optional[PebbleGameStatistics] = None,
+        budget=None,
     ) -> bool:
         """Decide ``(S, X) →µ_k G`` — the Duplicator-wins relation.
 
         Requires ``dom(µ) = X``; identical verdicts to
-        :func:`~repro.pebble.game.reference_pebble_game_winner`.
+        :func:`~repro.pebble.game.reference_pebble_game_winner`.  *budget*
+        is any object with an amortized ``tick()`` method; it is ticked
+        along the worklist / fixpoint, bounding the solve.
         """
         if mu.domain() != self._distinguished:
             raise EvaluationError(
@@ -415,8 +420,8 @@ class ConsistencyKernel:
             # Duplicator loses immediately.
             return False
         if self._k == 2:
-            return self._solve_two_pebbles(graph, fixed, statistics)
-        return self._solve_generic(graph, fixed, statistics)
+            return self._solve_two_pebbles(graph, fixed, statistics, budget)
+        return self._solve_generic(graph, fixed, statistics, budget)
 
     # --- k = 2: worklist arc consistency ----------------------------------
     def _solve_two_pebbles(
@@ -424,6 +429,7 @@ class ConsistencyKernel:
         graph: RDFGraph,
         fixed: Dict[Variable, GroundTerm],
         statistics: Optional[PebbleGameStatistics],
+        budget=None,
     ) -> bool:
         domains = self._restricted_domains(graph, fixed)
         for var in self._existential:
@@ -474,6 +480,8 @@ class ConsistencyKernel:
                 statistics.rounds += 1
             var = queue.pop()
             queued.discard(var)
+            if budget is not None:
+                budget.tick(max(1, len(domains[var])))
             for value in list(domains[var]):
                 if any(not supported(var, value, other) for other in self._neighbours[var]):
                     domains[var].discard(value)
@@ -493,6 +501,7 @@ class ConsistencyKernel:
         graph: RDFGraph,
         fixed: Dict[Variable, GroundTerm],
         statistics: Optional[PebbleGameStatistics],
+        budget=None,
     ) -> bool:
         k = self._k
         # The precomputed level-0 family: per-variable domains already pruned
@@ -504,6 +513,8 @@ class ConsistencyKernel:
         levels[0].add(())
         for size in range(1, k + 1):
             for smaller in levels[size - 1]:
+                if budget is not None:
+                    budget.tick()
                 assignment: Dict[Variable, GroundTerm] = dict(smaller)
                 combined = dict(fixed)
                 combined.update(assignment)
@@ -532,6 +543,8 @@ class ConsistencyKernel:
             if statistics is not None:
                 statistics.rounds += 1
             for item in list(family):
+                if budget is not None:
+                    budget.tick()
                 if item not in family:
                     continue
                 assignment = dict(item)
