@@ -1,0 +1,28 @@
+"""The project-specific invariant rules, one module per subject area."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..framework import Rule
+from .budgets import MonotonicRule, TickRule
+from .caching import IdKeyRule
+from .exceptions_rule import ExceptionTaxonomyRule
+from .forkstate import ForkStateRule
+from .pickling import PoolPayloadRule
+from .versioning import VersionBumpRule
+
+__all__ = ["default_rules"]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in reporting order."""
+    return [
+        VersionBumpRule(),
+        PoolPayloadRule(),
+        IdKeyRule(),
+        TickRule(),
+        MonotonicRule(),
+        ExceptionTaxonomyRule(),
+        ForkStateRule(),
+    ]

@@ -1,0 +1,177 @@
+"""RP-IDKEY: no process-local ``id()`` in portable cache keys (PR 1/5).
+
+:class:`~repro.evaluation.cache.EvaluationCache` keys some entry kinds on
+``id(tree)`` for speed — that is sound only because the delta export path
+translates those keys to portable tree *slots* at the process boundary.
+The contract this rule enforces:
+
+* In ``evaluation/cache.py``, an insert site (``_bounded_insert``) whose
+  kind literal is in ``_DELTA_KINDS`` may only build its key from ``id()``
+  when the kind is also in ``_TREE_KEYED_KINDS`` (the kinds the export /
+  absorb boundary translates).  An ``id()`` key on any other delta kind
+  would ship a meaningless process-local address to the parent and poison
+  the shared cache.
+* In every other ``evaluation/`` module, no ``id()`` call may appear in the
+  arguments of a ``CacheDelta(...)`` construction or an ``export_delta`` /
+  ``absorb`` call — deltas are the cross-process channel and must stay
+  address-free end to end.
+
+Key expressions assigned to a local first (``key = (id(tree), ...)``) are
+chased one assignment deep, which covers the codebase's idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..framework import Finding, Project, Rule, SourceFile
+
+__all__ = ["IdKeyRule"]
+
+#: Fallbacks used when the scanned cache module does not define the sets
+#: (kept in sync with evaluation/cache.py by the live-tree test).
+_DEFAULT_DELTA_KINDS = frozenset({"hom", "homlist", "pebble", "subtree", "treesol"})
+_DEFAULT_TREE_KEYED_KINDS = frozenset({"subtree", "treesol"})
+
+_DELTA_CALLS = {"export_delta", "absorb"}
+
+
+def _frozenset_literal(node: ast.AST) -> Optional[Set[str]]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "frozenset"
+        and len(node.args) == 1
+        and isinstance(node.args[0], (ast.Set, ast.List, ast.Tuple))
+    ):
+        values: Set[str] = set()
+        for element in node.args[0].elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                values.add(element.value)
+            else:
+                return None
+        return values
+    return None
+
+
+def _kind_sets(module: SourceFile) -> Dict[str, Set[str]]:
+    sets = {
+        "_DELTA_KINDS": set(_DEFAULT_DELTA_KINDS),
+        "_TREE_KEYED_KINDS": set(_DEFAULT_TREE_KEYED_KINDS),
+    }
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id in sets:
+                literal = _frozenset_literal(node.value)
+                if literal is not None:
+                    sets[target.id] = literal
+    return sets
+
+
+def _has_id_call(node: ast.AST, assignments: Dict[str, ast.AST]) -> bool:
+    """Does *node* contain ``id(...)``, chasing Name refs one level?"""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == "id"
+        ):
+            return True
+        if isinstance(child, ast.Name) and child.id in assignments:
+            target = assignments[child.id]
+            for sub in ast.walk(target):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                ):
+                    return True
+    return False
+
+
+def _local_assignments(func: ast.AST) -> Dict[str, ast.AST]:
+    assignments: Dict[str, ast.AST] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assignments[target.id] = node.value
+    return assignments
+
+
+class IdKeyRule(Rule):
+    id = "RP-IDKEY"
+    title = "no id() reaches a portable cache key or CacheDelta entry"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.parsed():
+            if file.relpath.endswith("evaluation/cache.py"):
+                yield from self._check_cache_module(file)
+            elif "/evaluation/" in file.relpath:
+                yield from self._check_delta_caller(file)
+
+    def _check_cache_module(self, module: SourceFile) -> Iterator[Finding]:
+        sets = _kind_sets(module)
+        portable_kinds = sets["_DELTA_KINDS"] - sets["_TREE_KEYED_KINDS"]
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            assignments = _local_assignments(func)
+            for node in ast.walk(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "_bounded_insert"
+                ):
+                    continue
+                kind, key_expr = self._kind_and_key(node)
+                if kind is None or key_expr is None:
+                    continue  # dynamic kind (absorb's re-insert loop)
+                if kind in portable_kinds and _has_id_call(key_expr, assignments):
+                    yield Finding(
+                        path=module.relpath,
+                        line=node.lineno,
+                        rule=self.id,
+                        message=f"cache kind {kind!r} travels in CacheDelta but its "
+                        "key is built from id(); only _TREE_KEYED_KINDS may use "
+                        "id() keys (the export/absorb boundary translates them)",
+                    )
+
+    @staticmethod
+    def _kind_and_key(call: ast.Call):
+        """The kind string literal and the argument following it, if any."""
+        arguments: List[ast.AST] = list(call.args)
+        for index, arg in enumerate(arguments):
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                key_expr = arguments[index + 1] if index + 1 < len(arguments) else None
+                return arg.value, key_expr
+        return None, None
+
+    def _check_delta_caller(self, module: SourceFile) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            assignments = _local_assignments(func)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = ""
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                is_delta_site = name == "CacheDelta" or name in _DELTA_CALLS
+                if not is_delta_site:
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if _has_id_call(arg, assignments):
+                        yield Finding(
+                            path=module.relpath,
+                            line=node.lineno,
+                            rule=self.id,
+                            message=f"id() flows into {name}(...); CacheDelta "
+                            "payloads must be free of process-local addresses",
+                        )
+                        break

@@ -1,0 +1,232 @@
+"""RP-VERSION: one version bump per public batch mutation (PR 6 contract).
+
+The columnar :class:`~repro.rdf.graph.RDFGraph` and the retained
+:class:`~repro.rdf.reference.ReferenceRDFGraph` promise that every public
+entry point which writes the storage columns / hash indexes bumps
+``_version`` **exactly once** — warm caches must be invalidated, and a bulk
+load must invalidate them once, not once per triple (the PR 6 regression
+class this rule exists for).
+
+The rule builds a per-method table for each graph class: direct storage
+mutations (mutator-method calls rooted at a storage attribute of ``self``,
+including one-level local aliases like ``spo = self._spo``), direct
+``self._version += 1`` bumps, and ``self.<method>()`` calls.  It then flags:
+
+* a public method (including dunders) from which a storage mutation is
+  reachable through the self-call closure but **zero** bumps are;
+* a method with two or more direct bumps;
+* a bump — or a call to a bumping method — lexically inside a ``for`` /
+  ``while`` loop (the per-triple-bump shape).
+
+``flush()`` is exempt: run-merge maintenance rearranges the representation
+without changing graph content, so it is version-neutral by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Set
+
+from ..framework import Finding, Project, Rule, attribute_root, chain_attributes
+
+__all__ = ["VersionBumpRule"]
+
+#: Classes under contract, by name.
+_GRAPH_CLASSES = {"RDFGraph", "ReferenceRDFGraph"}
+
+#: Instance attributes that hold triple storage (columns / hash indexes).
+_STORAGE_ATTRS = {
+    "_spo",
+    "_pos",
+    "_osp",
+    "_triples",
+    "_by_s",
+    "_by_p",
+    "_by_o",
+    "_by_sp",
+    "_by_po",
+    "_by_so",
+}
+
+#: Method names that mutate a container in place when called on storage.
+_MUTATORS = {
+    "add",
+    "discard",
+    "remove",
+    "extend_sorted",
+    "extend",
+    "update",
+    "clear",
+    "pop",
+    "insert",
+    "append",
+    "setdefault",
+}
+
+#: Version-neutral maintenance: merges insert buffers without changing
+#: content, called from read paths and ``__reduce__``.
+_EXEMPT_METHODS = {"flush"}
+
+
+@dataclass
+class _MethodFacts:
+    mutates: bool = False
+    mutation_line: int = 0
+    bumps: int = 0
+    bump_in_loop: bool = False
+    bump_in_loop_line: int = 0
+    self_calls: Set[str] = field(default_factory=set)
+    #: self-method names called lexically inside a loop → call line.
+    loop_calls: Dict[str, int] = field(default_factory=dict)
+
+
+def _storage_aliases(func: ast.FunctionDef) -> Set[str]:
+    """Local names bound to ``self.<storage_attr>`` (one level, whole body)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
+            value = node.value
+            root = attribute_root(value)
+            if (
+                isinstance(root, ast.Name)
+                and root.id == "self"
+                and value.attr in _STORAGE_ATTRS
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+    return aliases
+
+
+def _is_storage_mutation(call: ast.Call, aliases: Set[str]) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+        return False
+    root = attribute_root(func.value)
+    if isinstance(root, ast.Name) and root.id in aliases:
+        return True
+    if isinstance(root, ast.Name) and root.id == "self":
+        # self._spo.add(...), self._by_s[x].add(...): some attribute on the
+        # chain (there is at least one, func.value side) must be storage.
+        return bool(set(chain_attributes(func.value)) & _STORAGE_ATTRS)
+    return False
+
+
+def _is_version_bump(node: ast.AST) -> bool:
+    if not isinstance(node, ast.AugAssign):
+        return False
+    target = node.target
+    return (
+        isinstance(target, ast.Attribute)
+        and target.attr == "_version"
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+def _collect(func: ast.FunctionDef) -> _MethodFacts:
+    facts = _MethodFacts()
+    aliases = _storage_aliases(func)
+
+    def visit(node: ast.AST, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop or isinstance(child, (ast.For, ast.While))
+            if _is_version_bump(child):
+                facts.bumps += 1
+                if in_loop and not facts.bump_in_loop:
+                    facts.bump_in_loop = True
+                    facts.bump_in_loop_line = child.lineno
+            if isinstance(child, ast.Call):
+                if _is_storage_mutation(child, aliases):
+                    if not facts.mutates:
+                        facts.mutates = True
+                        facts.mutation_line = child.lineno
+                func_expr = child.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id == "self"
+                ):
+                    facts.self_calls.add(func_expr.attr)
+                    if in_loop:
+                        facts.loop_calls.setdefault(func_expr.attr, child.lineno)
+            visit(child, child_in_loop)
+
+    visit(func, False)
+    return facts
+
+
+class VersionBumpRule(Rule):
+    id = "RP-VERSION"
+    title = "graph mutations bump _version exactly once per public entry point"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.parsed():
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef) and node.name in _GRAPH_CLASSES:
+                    yield from self._check_class(file, node)
+
+    def _check_class(self, file, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods: Dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, ast.FunctionDef) and item.name not in _EXEMPT_METHODS
+        }
+        facts = {name: _collect(func) for name, func in methods.items()}
+
+        def closure(name: str, seen: Set[str]) -> _MethodFacts:
+            """Reachable mutation/bump facts through the self-call graph."""
+            combined = _MethodFacts()
+            stack = [name]
+            while stack:
+                current = stack.pop()
+                if current in seen or current not in facts:
+                    continue
+                seen.add(current)
+                current_facts = facts[current]
+                combined.mutates = combined.mutates or current_facts.mutates
+                combined.bumps += current_facts.bumps
+                stack.extend(current_facts.self_calls)
+            return combined
+
+        for name, func in methods.items():
+            direct = facts[name]
+            if direct.bumps >= 2:
+                yield self.finding(
+                    file,
+                    func,
+                    f"{cls.name}.{name} bumps _version {direct.bumps} times; "
+                    "a public batch entry point must bump exactly once",
+                )
+            if direct.bump_in_loop:
+                yield Finding(
+                    path=file.relpath,
+                    line=direct.bump_in_loop_line,
+                    rule=self.id,
+                    message=f"{cls.name}.{name} bumps _version inside a loop "
+                    "(per-item invalidation; bump once after the batch)",
+                )
+            for callee, line in direct.loop_calls.items():
+                callee_facts = facts.get(callee)
+                if callee_facts is not None and callee_facts.bumps:
+                    yield Finding(
+                        path=file.relpath,
+                        line=line,
+                        rule=self.id,
+                        message=f"{cls.name}.{name} calls bumping method "
+                        f"{callee}() inside a loop (per-item invalidation; "
+                        "use the bulk entry point)",
+                    )
+            public = not name.startswith("_") or (
+                name.startswith("__") and name.endswith("__")
+            )
+            if public:
+                reach = closure(name, set())
+                if reach.mutates and reach.bumps == 0:
+                    yield self.finding(
+                        file,
+                        func,
+                        f"{cls.name}.{name} writes triple storage but no "
+                        "_version bump is reachable; warm caches would go stale",
+                    )

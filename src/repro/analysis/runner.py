@@ -1,0 +1,183 @@
+"""CLI driver: scan a tree, apply the baseline, report, set the exit code.
+
+Exit codes: 0 — clean (suppressed/baselined findings allowed); 1 — new
+findings, stale baseline entries, or baseline entries without a rationale;
+2 — usage errors (bad baseline JSON, missing scan directory).
+
+The baseline file (default ``analysis-baseline.json`` at the repo root) is
+the grandfathering mechanism: entries match findings on (rule, path,
+message) — line numbers deliberately excluded so unrelated edits do not
+churn the file — and every entry must carry a ``rationale``.  An entry
+whose finding no longer fires is reported as *stale* and fails the run, so
+the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .framework import (
+    PARSE_RULE_ID,
+    SUPPRESS_RULE_ID,
+    Finding,
+    Project,
+    run_rules,
+)
+from .rules import default_rules
+
+__all__ = ["main", "build_parser", "rule_registry", "load_baseline", "DEFAULT_BASELINE"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+#: Rule ids owned by the framework itself (no Rule instance behind them).
+FRAMEWORK_RULE_IDS: Dict[str, str] = {
+    PARSE_RULE_ID: "every scanned file parses",
+    SUPPRESS_RULE_ID: "suppression comments name known rule ids",
+}
+
+
+def rule_registry() -> Dict[str, str]:
+    """Every rule id the linter can emit → its one-line invariant."""
+    registry = {rule.id: rule.title for rule in default_rules()}
+    registry.update(FRAMEWORK_RULE_IDS)
+    return registry
+
+
+def find_repo_root(start: Path) -> Optional[Path]:
+    """The nearest ancestor (including *start*) containing ``src/repro``."""
+    for candidate in [start, *start.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return None
+
+
+def load_baseline(path: Path) -> Tuple[List[Dict[str, str]], List[str]]:
+    """Parse the baseline file → (entries, structural errors)."""
+    errors: List[str] = []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [], [f"{path}: invalid JSON: {error}"]
+    entries = data.get("entries") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        return [], [f"{path}: expected an object with an 'entries' list"]
+    valid: List[Dict[str, str]] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+            errors.append(f"{path}: entry {index} needs rule/path/message keys")
+            continue
+        if not str(entry.get("rationale", "")).strip():
+            errors.append(
+                f"{path}: entry {index} ({entry['rule']} at {entry['path']}) "
+                "has no rationale; every grandfathered finding must explain itself"
+            )
+            continue
+        valid.append(entry)
+    return valid, errors
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for the repro codebase "
+        "(concurrency, caching, and versioning contracts).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="directories to scan (default: the repo's src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        help="repo root for relative paths and the default baseline "
+        "(default: auto-detected from the working directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=f"baseline JSON file (default: <root>/{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format (github = workflow-command annotations)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id and its invariant, then exit",
+    )
+    return parser
+
+
+def _emit(findings: List[Finding], fmt: str, stream) -> None:
+    for finding in findings:
+        line = finding.format_github() if fmt == "github" else finding.format_text()
+        print(line, file=stream)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, title in sorted(rule_registry().items()):
+            print(f"{rule_id}: {title}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else find_repo_root(Path.cwd())
+    if root is None:
+        print("error: could not locate a repo root (no src/repro found); "
+              "pass --root", file=sys.stderr)
+        return 2
+
+    targets = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+    files = []
+    for target in targets:
+        directory = target if target.is_absolute() else root / target
+        if not directory.is_dir():
+            print(f"error: not a directory: {directory}", file=sys.stderr)
+            return 2
+        files.extend(Project.from_directory(directory, root=root).files)
+    project = Project(files)
+
+    result = run_rules(project, default_rules())
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    entries: List[Dict[str, str]] = []
+    baseline_errors: List[str] = []
+    if args.baseline or baseline_path.exists():
+        if not baseline_path.exists():
+            print(f"error: baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+        entries, baseline_errors = load_baseline(baseline_path)
+
+    baseline_keys = {(e["rule"], e["path"], e["message"]) for e in entries}
+    new_findings = [f for f in result.findings if f.key() not in baseline_keys]
+    matched_keys = {f.key() for f in result.findings if f.key() in baseline_keys}
+    stale = sorted(baseline_keys - matched_keys)
+
+    _emit(new_findings, args.format, sys.stdout)
+    for error in baseline_errors:
+        print(f"baseline error: {error}", file=sys.stderr)
+    for rule_id, path, message in stale:
+        print(
+            f"stale baseline entry: {rule_id} at {path} no longer fires; "
+            f"remove it from {baseline_path.name} ({message})",
+            file=sys.stderr,
+        )
+
+    scanned = len(project.files)
+    summary = (
+        f"{scanned} files scanned: {len(new_findings)} finding(s), "
+        f"{len(matched_keys)} baselined, {len(result.suppressed)} suppressed, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+    )
+    print(summary, file=sys.stderr)
+
+    if new_findings or stale or baseline_errors:
+        return 1
+    return 0

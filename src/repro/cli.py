@@ -182,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
     validate = subparsers.add_parser("validate", help="check well-designedness")
     add_query_argument(validate)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant linter (same as `python -m repro.analysis`)",
+    )
+    lint.add_argument("paths", nargs="*", help="directories to scan")
+    lint.add_argument("--root", help="repo root (default: auto-detected)")
+    lint.add_argument("--baseline", help="baseline JSON file")
+    lint.add_argument("--format", choices=("text", "github"), default="text")
+    lint.add_argument("--list-rules", action="store_true")
+
     return parser
 
 
@@ -361,6 +371,21 @@ def _command_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the linter is tooling, not query-path code.
+    from .analysis import runner
+
+    argv: List[str] = list(args.paths)
+    if args.root:
+        argv += ["--root", args.root]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    argv += ["--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return runner.main(argv)
+
+
 _COMMANDS = {
     "evaluate": _command_evaluate,
     "check": _command_check,
@@ -368,6 +393,7 @@ _COMMANDS = {
     "explain": _command_explain,
     "classify": _command_classify,
     "validate": _command_validate,
+    "lint": _command_lint,
 }
 
 

@@ -122,6 +122,9 @@ _CRASH_BACKOFF_SECONDS = 0.05
 # monotonic deadlines stay meaningful across processes on Linux), as does
 # the test-only FaultPlan.
 
+# fork-safe: rebound wholesale by _init_worker in every worker process
+# before any task runs, and never read in the parent — fork-inherited
+# contents are inert, so worker writes cannot leak across the boundary.
 _WORKER_STATE: Dict[str, object] = {}
 
 
@@ -238,6 +241,9 @@ def _worker_contains_chunk(
 # while they enumerate (backpressured by the queue bound) instead of
 # returning whole cells.
 
+# fork-safe: rebound wholesale by _init_enum_worker in every worker process
+# before any task runs, and never read in the parent — fork-inherited
+# contents are inert, so worker writes cannot leak across the boundary.
 _ENUM_STATE: Dict[str, object] = {}
 
 

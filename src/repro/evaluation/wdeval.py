@@ -266,8 +266,10 @@ def forest_solutions_stream(
     forest: WDPatternForest, graph: RDFGraph, context: Optional[EvalContext] = None
 ) -> Iterator[Mapping]:
     """Stream ``⟦F⟧G`` (union over the member trees, deduplicated)."""
+    context = context if context is not None else _PLAIN_CONTEXT
     seen: Set[Mapping] = set()
     for tree in forest:
+        context.tick()
         for mu in tree_solutions_stream(tree, graph, context):
             if mu not in seen:
                 seen.add(mu)

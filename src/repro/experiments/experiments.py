@@ -10,28 +10,17 @@ benchmark scripts pass larger values.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from .harness import ExperimentResult, register_experiment, time_batched_membership, time_callable
-from ..evaluation import (
-    Session,
-    evaluate_pattern,
-    forest_contains,
-    forest_contains_pebble,
-)
+from ..evaluation import Session, forest_contains, forest_contains_pebble
 from ..hom import ctw, tw, maps_to
 from ..patterns import WDPatternForest, wdpf
 from ..patterns.gtg import gtg
 from ..reductions import minimum_family_index, solve_clique_via_wdeval
 from ..rdf.terms import IRI
 from ..sparql.mappings import Mapping
-from ..width import (
-    branch_treewidth,
-    domination_width,
-    local_width,
-    local_width_of_forest,
-    minimum_domination_level,
-)
+from ..width import branch_treewidth, domination_width, local_width, local_width_of_forest
 from ..workloads.clique_instances import has_clique_bruteforce, random_host_graph, plant_clique
 from ..workloads.families import (
     chain_tree,

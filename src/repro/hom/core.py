@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .homomorphism import find_homomorphism, has_homomorphism
+from .homomorphism import has_homomorphism
 from .tgraph import GeneralizedTGraph, TGraph
 from ..rdf.terms import Variable
 

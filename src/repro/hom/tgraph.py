@@ -10,7 +10,7 @@ and the pebble game operate.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set
 
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import GroundTerm, IRI, Term, Variable, is_ground_term

@@ -21,7 +21,7 @@ treewidth 1.  This module provides:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import FrozenSet, Hashable, Tuple
 
 import networkx as nx
 from networkx.algorithms.approximation import treewidth_min_degree, treewidth_min_fill_in

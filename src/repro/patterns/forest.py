@@ -9,7 +9,7 @@ defined; those constructions live in :mod:`repro.patterns.gtg`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from .tree import Subtree, WDPatternTree
 from ..exceptions import PatternTreeError

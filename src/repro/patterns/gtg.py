@@ -18,7 +18,7 @@ domination width on:
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
 
 from .forest import WDPatternForest
 from .tree import Subtree, WDPatternTree

@@ -39,11 +39,11 @@ test suite:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..hom.tgraph import GeneralizedTGraph
 from ..rdf.graph import RDFGraph
-from ..rdf.terms import GroundTerm, Term, Variable
+from ..rdf.terms import GroundTerm, Variable
 from ..rdf.triples import TriplePattern
 from ..sparql.mappings import Mapping
 from ..exceptions import EvaluationError

@@ -432,9 +432,8 @@ class ConsistencyKernel:
         budget=None,
     ) -> bool:
         domains = self._restricted_domains(graph, fixed)
-        for var in self._existential:
-            if not domains[var]:
-                return False
+        if any(not domains[var] for var in self._existential):
+            return False
 
         # Per-pair support relations restricted to the current domains, in
         # both directions so that every revision is a forward lookup.
@@ -447,6 +446,8 @@ class ConsistencyKernel:
                 allowed = self._binary_restriction(graph, t, pair, fixed)
                 pairs = allowed if pairs is None else (pairs & allowed)
             assert pairs is not None  # every group has at least one triple
+            if budget is not None:
+                budget.tick(1 + len(pairs))
             forward: Dict[GroundTerm, Set[GroundTerm]] = {}
             backward: Dict[GroundTerm, Set[GroundTerm]] = {}
             domain_u, domain_v = domains[u], domains[v]
@@ -531,9 +532,7 @@ class ConsistencyKernel:
                     # never (re)assigned the variable.
                     combined.pop(var, None)
 
-        family: Set[Tuple] = set()
-        for level in levels:
-            family.update(level)
+        family: Set[Tuple] = set().union(*levels)
         if statistics is not None:
             statistics.candidate_partial_homs = len(family)
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from itertools import accumulate
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import networkx as nx
 

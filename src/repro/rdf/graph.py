@@ -34,7 +34,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from .columns import ARRAY_BITS_LIMIT, SortedKeyRun, scan_mask
 from .dictionary import TermDictionary
-from .terms import GroundTerm, IRI, Literal, Term, Variable, is_ground_term
+from .terms import GroundTerm, Variable, is_ground_term
 from .triples import Triple, TriplePattern
 from ..exceptions import RDFError
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-from .terms import IRI, GroundTerm, Literal, Term, Variable, is_ground_term, term_sort_key
+from .terms import IRI, GroundTerm, Term, Variable, is_ground_term, term_sort_key
 from ..exceptions import RDFError
 
 __all__ = ["TriplePattern", "Triple", "triple", "pattern", "coerce_term"]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -37,7 +37,7 @@ from .grid import MinorMap, find_grid_minor_map
 from ..hom.core import core_of
 from ..hom.gaifman import gaifman_graph
 from ..hom.tgraph import GeneralizedTGraph, TGraph
-from ..rdf.terms import Term, Variable
+from ..rdf.terms import Variable
 from ..rdf.triples import TriplePattern
 from ..exceptions import ReductionError
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import comb
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 import networkx as nx
 
@@ -31,7 +31,7 @@ from ..evaluation.wdeval import forest_contains
 from ..hom.tgraph import freeze_tgraph
 from ..patterns.forest import WDPatternForest
 from ..rdf.graph import RDFGraph
-from ..rdf.terms import IRI, Variable
+from ..rdf.terms import Variable
 from ..sparql.mappings import Mapping
 from ..workloads.families import hard_clique_tree
 from ..exceptions import ReductionError

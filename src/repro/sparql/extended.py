@@ -23,9 +23,9 @@ caller can decide how to handle extended queries.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, Optional
 
-from .algebra import And, GraphPattern, Opt, TriplePatternNode, Union
+from .algebra import And, GraphPattern, Opt, Union
 from .filters import FilterCondition
 from .well_designed import WellDesignedViolation, union_operands
 from ..rdf.terms import Variable

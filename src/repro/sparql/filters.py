@@ -17,7 +17,7 @@ three-valued error handling collapsed to "unbound comparisons are false"
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Optional
 
 from ..rdf.terms import GroundTerm, Term, Variable, is_ground_term
 from ..rdf.triples import coerce_term

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional, Tuple
 
-from ..rdf.terms import GroundTerm, IRI, Term, Variable, is_ground_term
+from ..rdf.terms import GroundTerm, Variable, is_ground_term
 from ..rdf.triples import Triple, TriplePattern
 from ..exceptions import EvaluationError
 

@@ -16,7 +16,7 @@ query-sized inputs, which is all the paper's theory needs.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..hom.homomorphism import maps_to
 from ..hom.tgraph import GeneralizedTGraph

@@ -1,0 +1,587 @@
+"""The invariant linter: every rule fires on a known violation and stays
+silent on the fixed form; the suppression/baseline machinery behaves.
+
+Fixture projects are built in memory with :meth:`Project.from_sources`
+using relpaths that match the real tree's layout, because several rules
+scope themselves by path (``evaluation/cache.py``, ``session.py``, …).
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import default_rules, rule_registry, run_rules
+from repro.analysis.framework import Finding, Project
+from repro.analysis.rules.budgets import MonotonicRule, TickRule
+from repro.analysis.rules.caching import IdKeyRule
+from repro.analysis.rules.exceptions_rule import ExceptionTaxonomyRule
+from repro.analysis.rules.forkstate import ForkStateRule
+from repro.analysis.rules.pickling import PoolPayloadRule
+from repro.analysis.rules.versioning import VersionBumpRule
+from repro.analysis.runner import main as lint_main
+
+
+def project(**sources):
+    """Project from {name_with__for_slashes: dedented source}."""
+    return Project.from_sources(
+        {
+            name.replace("__", "/") + ".py": textwrap.dedent(text)
+            for name, text in sources.items()
+        }
+    )
+
+
+def rule_findings(rule, proj):
+    return [f for f in run_rules(proj, [rule]).findings if f.rule == rule.id]
+
+
+# --- RP-VERSION ---------------------------------------------------------------
+
+GRAPH_OK = """
+    class RDFGraph:
+        def add(self, triple):
+            if triple in self._spo:
+                return self
+            self._version += 1
+            self._insert(triple)
+            return self
+
+        def _insert(self, triple):
+            self._spo.add(triple)
+
+        def add_all(self, triples):
+            batch = [t for t in triples if t not in self._spo]
+            if not batch:
+                return self
+            self._version += 1
+            self._spo.extend_sorted(sorted(batch))
+            return self
+"""
+
+
+def test_version_rule_silent_on_disciplined_graph():
+    assert rule_findings(VersionBumpRule(), project(src__repro__rdf__graph=GRAPH_OK)) == []
+
+
+def test_version_rule_flags_mutation_without_bump():
+    proj = project(
+        src__repro__rdf__graph="""
+        class RDFGraph:
+            def add(self, triple):
+                self._spo.add(triple)
+                return self
+        """
+    )
+    findings = rule_findings(VersionBumpRule(), proj)
+    assert len(findings) == 1
+    assert "no _version bump" in findings[0].message
+
+
+def test_version_rule_flags_double_bump_and_bump_in_loop():
+    proj = project(
+        src__repro__rdf__graph="""
+        class ReferenceRDFGraph:
+            def add_all(self, triples):
+                for t in triples:
+                    self._triples.add(t)
+                    self._version += 1
+            def discard(self, t):
+                self._triples.remove(t)
+                self._version += 1
+                self._version += 1
+        """
+    )
+    messages = sorted(f.message for f in rule_findings(VersionBumpRule(), proj))
+    assert any("inside a loop" in m for m in messages)
+    assert any("bumps _version 2 times" in m for m in messages)
+
+
+def test_version_rule_flags_bumping_method_called_in_loop():
+    proj = project(
+        src__repro__rdf__graph="""
+        class RDFGraph:
+            def add(self, t):
+                self._version += 1
+                self._spo.add(t)
+            def add_all(self, triples):
+                for t in triples:
+                    self.add(t)
+        """
+    )
+    findings = rule_findings(VersionBumpRule(), proj)
+    assert any("bumping method add() inside a loop" in f.message for f in findings)
+
+
+def test_version_rule_tracks_storage_aliases():
+    proj = project(
+        src__repro__rdf__graph="""
+        class RDFGraph:
+            def add_all(self, triples):
+                spo = self._spo
+                spo.extend_sorted(triples)
+        """
+    )
+    findings = rule_findings(VersionBumpRule(), proj)
+    assert len(findings) == 1 and "no _version bump" in findings[0].message
+
+
+# --- RP-PICKLE ----------------------------------------------------------------
+
+def test_pickle_rule_flags_hookless_payload_and_graphpattern():
+    proj = project(
+        src__repro__evaluation__session="""
+        class Payload:
+            pass
+
+        def _init_worker(payload: Payload, pattern: "GraphPattern") -> None:
+            pass
+        """
+    )
+    messages = [f.message for f in rule_findings(PoolPayloadRule(), proj)]
+    assert any("Payload defines no __reduce__" in m for m in messages)
+    assert any("GraphPattern" in m for m in messages)
+
+
+def test_pickle_rule_silent_on_reduce_dataclass_and_registered():
+    proj = project(
+        src__repro__evaluation__session="""
+        from dataclasses import dataclass
+        from typing import Optional
+
+        class Forest:
+            def __reduce__(self):
+                return (Forest, ())
+
+        @dataclass
+        class Delta:
+            entries: list
+
+        def _init_worker(
+            forest: Forest, delta: Delta, warm_session: Optional["Session"] = None
+        ) -> None:
+            pass
+
+        class Session:
+            pass
+        """
+    )
+    assert rule_findings(PoolPayloadRule(), proj) == []
+
+
+def test_pickle_rule_ignores_non_worker_functions():
+    proj = project(
+        src__repro__evaluation__session="""
+        class Payload:
+            pass
+
+        def ordinary(payload: Payload) -> None:
+            pass
+        """
+    )
+    assert rule_findings(PoolPayloadRule(), proj) == []
+
+
+# --- RP-IDKEY -----------------------------------------------------------------
+
+CACHE_HEADER = """
+    _DELTA_KINDS = frozenset({"hom", "subtree"})
+    _TREE_KEYED_KINDS = frozenset({"subtree"})
+
+    class EvaluationCache:
+"""
+
+
+def test_idkey_rule_flags_id_in_portable_kind_key():
+    proj = project(
+        src__repro__evaluation__cache=CACHE_HEADER
+        + """
+        def memo_hom(self, graph, source, store):
+            key = (id(source), "hom")
+            self._bounded_insert(graph, store, "hom", key, True)
+        """
+    )
+    findings = rule_findings(IdKeyRule(), proj)
+    assert len(findings) == 1 and "'hom'" in findings[0].message
+
+
+def test_idkey_rule_allows_id_on_tree_keyed_kind():
+    proj = project(
+        src__repro__evaluation__cache=CACHE_HEADER
+        + """
+        def memo_subtree(self, graph, tree, store, nodes):
+            self._bounded_insert(graph, store, "subtree", (id(tree),), nodes)
+        """
+    )
+    assert rule_findings(IdKeyRule(), proj) == []
+
+
+def test_idkey_rule_flags_id_flowing_into_cachedelta():
+    proj = project(
+        src__repro__evaluation__session="""
+        def export(cache, graphs):
+            return CacheDelta(versions={id(g): 0 for g in graphs}, entries=[])
+        """
+    )
+    findings = rule_findings(IdKeyRule(), proj)
+    assert len(findings) == 1 and "CacheDelta" in findings[0].message
+
+
+# --- RP-TICK ------------------------------------------------------------------
+
+def test_tick_rule_flags_untick_loops_and_accepts_fixed_form():
+    bad = project(
+        src__repro__evaluation__naive="""
+        def evaluate_pattern(pattern, graph, budget=None):
+            result = set()
+            for triple in graph:
+                result.add(triple)
+            while result:
+                result.pop()
+            return result
+        """
+    )
+    findings = rule_findings(TickRule(), bad)
+    assert len(findings) == 2  # the for and the while
+
+    good = project(
+        src__repro__evaluation__naive="""
+        def evaluate_pattern(pattern, graph, budget=None):
+            result = set()
+            for triple in graph:
+                if budget is not None:
+                    budget.tick()
+                for extra in triple:  # inner loop amortized by the outer tick
+                    result.add(extra)
+            while result:
+                budget.tick(1 + len(result))
+                result.pop()
+            return result
+        """
+    )
+    assert rule_findings(TickRule(), good) == []
+
+
+def test_tick_rule_reports_stale_registry_entry():
+    proj = project(
+        src__repro__evaluation__naive="""
+        def renamed_entry_point(pattern, graph):
+            return set()
+        """
+    )
+    findings = rule_findings(TickRule(), proj)
+    assert any("'evaluate_pattern' not found" in f.message for f in findings)
+
+
+def test_tick_rule_checks_registered_nested_function():
+    proj = project(
+        src__repro__hom__homomorphism="""
+        def _search(source, index, fixed, budget):
+            def backtrack(current):
+                for value in current:
+                    yield value
+            return backtrack(fixed)
+        """
+    )
+    findings = rule_findings(TickRule(), proj)
+    assert len(findings) == 1 and "_search.backtrack" in findings[0].message
+
+
+# --- RP-MONO ------------------------------------------------------------------
+
+def test_mono_rule_flags_wall_clock_forms():
+    proj = project(
+        src__repro__evaluation__budget="""
+        import time
+        from time import time as now
+        from datetime import datetime
+
+        def deadline(seconds):
+            start = time.time()
+            stamp = now()
+            when = datetime.now()
+            return start + seconds, stamp, when
+        """
+    )
+    findings = rule_findings(MonotonicRule(), proj)
+    # the import itself, time.time(), the aliased call, argless datetime.now()
+    assert len(findings) == 4
+
+
+def test_mono_rule_silent_on_monotonic_and_tz_aware():
+    proj = project(
+        src__repro__evaluation__budget="""
+        import time
+        from time import monotonic, sleep
+        from datetime import datetime, timezone
+
+        def deadline(seconds):
+            sleep(0)
+            stamped = datetime.now(timezone.utc)
+            return monotonic() + seconds, time.monotonic(), stamped
+        """
+    )
+    assert rule_findings(MonotonicRule(), proj) == []
+
+
+# --- RP-EXC -------------------------------------------------------------------
+
+def test_exc_rule_flags_foreign_raises_and_accepts_taxonomy():
+    proj = project(
+        src__repro__exceptions="""
+        class ReproError(Exception):
+            pass
+
+        class EvaluationError(ReproError):
+            pass
+        """,
+        src__repro__evaluation__engine="""
+        from ..exceptions import EvaluationError
+
+        class FaultInjected(EvaluationError):
+            pass
+
+        class RogueError(Exception):
+            pass
+
+        def run(mode):
+            if mode == "taxonomy":
+                raise EvaluationError("fine")
+            if mode == "derived":
+                raise FaultInjected("fine")
+            if mode == "stdlib":
+                raise ValueError("fine")
+            if mode == "runtime":
+                raise RuntimeError("not fine")
+            raise RogueError("not fine")
+        """,
+    )
+    findings = rule_findings(ExceptionTaxonomyRule(), proj)
+    assert len(findings) == 2
+    assert any("raise RuntimeError" in f.message for f in findings)
+    assert any("raise RogueError" in f.message for f in findings)
+
+
+def test_exc_rule_skips_bare_and_variable_reraise():
+    proj = project(
+        src__repro__evaluation__engine="""
+        def run():
+            try:
+                pass
+            except Exception as error:
+                raise
+            raise error
+        """
+    )
+    assert rule_findings(ExceptionTaxonomyRule(), proj) == []
+
+
+# --- RP-FORKSTATE -------------------------------------------------------------
+
+FORKSTATE_BAD = """
+    _WORKER_STATE = {}
+
+    def _init_worker(graph):
+        _WORKER_STATE["graph"] = graph
+"""
+
+FORKSTATE_GOOD = """
+    # fork-safe: rebound wholesale by the initializer in every worker
+    # process before any task runs; never read in the parent.
+    _WORKER_STATE = {}
+
+    def _init_worker(graph):
+        _WORKER_STATE["graph"] = graph
+"""
+
+
+def test_forkstate_rule_requires_guard_comment():
+    bad = project(src__repro__evaluation__session=FORKSTATE_BAD)
+    findings = rule_findings(ForkStateRule(), bad)
+    assert len(findings) == 1 and "_WORKER_STATE" in findings[0].message
+
+    good = project(src__repro__evaluation__session=FORKSTATE_GOOD)
+    assert rule_findings(ForkStateRule(), good) == []
+
+
+def test_forkstate_rule_ignores_parent_side_functions():
+    proj = project(
+        src__repro__evaluation__session="""
+        _SETTINGS = {}
+
+        def configure(key, value):
+            _SETTINGS[key] = value
+        """
+    )
+    assert rule_findings(ForkStateRule(), proj) == []
+
+
+def test_forkstate_rule_flags_mutator_calls_and_global_rebind():
+    proj = project(
+        src__repro__evaluation__session="""
+        _WORKER_STATE = {}
+        _ENUM_STATE = dict()
+
+        def _init_worker(graph):
+            _WORKER_STATE.update(graph=graph)
+
+        def _init_enum_worker(graphs):
+            global _ENUM_STATE
+            _ENUM_STATE = {"graphs": graphs}
+        """
+    )
+    messages = [f.message for f in rule_findings(ForkStateRule(), proj)]
+    assert any("mutates module global _WORKER_STATE" in m for m in messages)
+    assert any("rebinds module global _ENUM_STATE" in m for m in messages)
+
+
+# --- suppressions -------------------------------------------------------------
+
+def test_suppression_on_exact_line_silences_the_rule():
+    proj = project(
+        src__repro__evaluation__budget="""
+        import time
+
+        def stamp():
+            return time.time()  # repro: ignore[RP-MONO]
+        """
+    )
+    result = run_rules(proj, default_rules())
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RP-MONO"]
+
+
+def test_suppression_on_wrong_line_does_not_silence():
+    proj = project(
+        src__repro__evaluation__budget="""
+        import time
+
+        # repro: ignore[RP-MONO]
+        def stamp():
+            return time.time()
+        """
+    )
+    result = run_rules(proj, default_rules())
+    assert [f.rule for f in result.findings] == ["RP-MONO"]
+
+
+def test_suppression_with_unknown_rule_id_is_a_finding():
+    proj = project(
+        src__repro__evaluation__budget="""
+        x = 1  # repro: ignore[RP-NOPE]
+        """
+    )
+    result = run_rules(proj, default_rules())
+    assert [f.rule for f in result.findings] == ["RP-SUPPRESS"]
+    assert "RP-NOPE" in result.findings[0].message
+
+
+def test_docstring_mentioning_suppression_syntax_is_inert():
+    proj = project(
+        src__repro__evaluation__budget='''
+        """Docs may show `# repro: ignore[RP-NOPE]` without activating it."""
+        '''
+    )
+    assert run_rules(proj, default_rules()).findings == []
+
+
+def test_syntax_error_becomes_parse_finding():
+    proj = project(src__repro__evaluation__budget="def broken(:\n")
+    result = run_rules(proj, default_rules())
+    assert [f.rule for f in result.findings] == ["RP-PARSE"]
+
+
+# --- baseline machinery (through the CLI driver) ------------------------------
+
+@pytest.fixture
+def fake_repo(tmp_path):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "clock.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n"
+    )
+    return tmp_path
+
+
+def baseline_entry():
+    return {
+        "rule": "RP-MONO",
+        "path": "src/repro/clock.py",
+        "message": "time.time() is wall clock; deadline/budget code "
+        "must use time.monotonic()",
+        "rationale": "historic wall-clock stamp kept for log compatibility",
+    }
+
+
+def write_baseline(root, entries):
+    (root / "analysis-baseline.json").write_text(json.dumps({"entries": entries}))
+
+
+def test_runner_reports_findings_and_exit_code(fake_repo, capsys):
+    assert lint_main(["--root", str(fake_repo)]) == 1
+    out = capsys.readouterr().out
+    assert "RP-MONO" in out and "src/repro/clock.py:5" in out
+
+
+def test_runner_baselined_finding_passes(fake_repo):
+    write_baseline(fake_repo, [baseline_entry()])
+    assert lint_main(["--root", str(fake_repo)]) == 0
+
+
+def test_runner_reports_stale_baseline_entry(fake_repo, capsys):
+    entry = baseline_entry()
+    entry["message"] = "a finding that never fires"
+    write_baseline(fake_repo, [baseline_entry(), entry])
+    assert lint_main(["--root", str(fake_repo)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_runner_requires_baseline_rationale(fake_repo, capsys):
+    entry = baseline_entry()
+    entry["rationale"] = "   "
+    write_baseline(fake_repo, [entry])
+    assert lint_main(["--root", str(fake_repo)]) == 1
+    assert "no rationale" in capsys.readouterr().err
+
+
+def test_runner_github_format(fake_repo, capsys):
+    assert lint_main(["--root", str(fake_repo), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/repro/clock.py,line=5,title=RP-MONO::" in out
+
+
+# --- the live tree ------------------------------------------------------------
+
+def test_live_tree_is_clean(capsys):
+    """`python -m repro.analysis` on the real src/repro: no new findings."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    assert lint_main(["--root", str(root)]) == 0, capsys.readouterr().out
+
+
+def test_registry_ids_are_unique_and_prefixed():
+    registry = rule_registry()
+    assert len(registry) >= 9
+    assert all(rule_id.startswith("RP-") for rule_id in registry)
+    rules = default_rules()
+    assert len({rule.id for rule in rules}) == len(rules)
+
+
+def test_cli_lint_subcommand_dispatches():
+    from repro.cli import main as cli_main
+    from pathlib import Path
+    import os
+
+    cwd = os.getcwd()
+    root = Path(__file__).resolve().parent.parent
+    try:
+        os.chdir(root)
+        assert cli_main(["lint"]) == 0
+    finally:
+        os.chdir(cwd)
+
+
+def test_finding_formats():
+    finding = Finding(path="src/repro/x.py", line=3, rule="RP-MONO", message="a :: b\nc")
+    assert finding.format_text() == "src/repro/x.py:3: RP-MONO: a :: b\nc"
+    assert finding.format_github() == "::error file=src/repro/x.py,line=3,title=RP-MONO::a : b c"

@@ -27,3 +27,28 @@ def test_doc_python_snippets_execute():
     # The docs must keep at least a few *runnable* examples: if every block
     # grows a `...` placeholder this assertion forces one back.
     assert executed >= 3, f"only {executed} runnable snippet(s) ({skipped} skipped)"
+
+
+def test_analysis_rule_table_matches_registry():
+    """docs/analysis.md and the linter's rule registry agree both ways.
+
+    Every rule id the linter can emit has a row in the invariants table
+    (first column, backticked), and every documented rule id exists — so
+    rule docs cannot drift the way the PR 4 size-accounting claim did.
+    """
+    import re
+
+    from repro.analysis import rule_registry
+
+    table_ids = set(
+        re.findall(
+            r"^\|\s*`(RP-[A-Z]+)`",
+            (ROOT / "docs" / "analysis.md").read_text(encoding="utf-8"),
+            flags=re.MULTILINE,
+        )
+    )
+    registry_ids = set(rule_registry())
+    assert table_ids == registry_ids, (
+        f"undocumented rules: {sorted(registry_ids - table_ids)}; "
+        f"documented but unregistered: {sorted(table_ids - registry_ids)}"
+    )

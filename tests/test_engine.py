@@ -9,7 +9,7 @@ from repro.rdf import RDFGraph, Triple
 from repro.rdf.namespace import EX
 from repro.rdf.terms import Variable
 from repro.sparql import Mapping, parse_pattern
-from repro.workloads.families import fk_data_graph, fk_forest, fk_pattern, tprime_tree, tprime_data_graph
+from repro.workloads.families import fk_data_graph, fk_forest, tprime_tree, tprime_data_graph
 
 
 class TestConstruction:

@@ -15,7 +15,7 @@ from repro.hom import homomorphism_count, all_homomorphisms, TGraph
 from repro.patterns import wdpf
 from repro.rdf.generators import social_network_graph, random_graph
 from repro.rdf.namespace import EX, FOAF
-from repro.sparql import Mapping, parse_pattern
+from repro.sparql import parse_pattern
 from repro.width import classify_pattern
 from repro.workloads.families import example2_pattern, fk_data_graph
 

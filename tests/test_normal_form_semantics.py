@@ -11,9 +11,9 @@ import itertools
 
 import pytest
 
-from repro.evaluation import forest_solutions, tree_solutions
+from repro.evaluation import tree_solutions
 from repro.hom.tgraph import TGraph
-from repro.patterns import WDPatternForest, WDPatternTree, build_wdpt, pattern_of_tree
+from repro.patterns import WDPatternTree, build_wdpt, pattern_of_tree
 from repro.evaluation import evaluate_pattern
 from repro.rdf.generators import random_graph
 from repro.rdf.namespace import EX

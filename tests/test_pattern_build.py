@@ -91,7 +91,7 @@ class TestRoundTrip:
     def test_pattern_of_tree_round_trips_semantically(self):
         from repro.evaluation import evaluate_pattern
         from repro.rdf.generators import random_graph
-        from repro.workloads.random_patterns import DEFAULT_PREDICATES, random_wd_tree
+        from repro.workloads.random_patterns import random_wd_tree
 
         for seed in range(5):
             tree = random_wd_tree(num_nodes=3, seed=seed)

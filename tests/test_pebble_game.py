@@ -8,10 +8,10 @@ properties of Proposition 4.
 import pytest
 
 from repro.exceptions import EvaluationError
-from repro.hom import GeneralizedTGraph, TGraph, ctw, maps_into
+from repro.hom import GeneralizedTGraph, ctw, maps_into
 from repro.pebble import PebbleGameStatistics, pebble_game_winner, pebble_maps_into
 from repro.rdf import RDFGraph, Triple
-from repro.rdf.generators import clique_graph, cycle_graph, path_graph
+from repro.rdf.generators import clique_graph, path_graph
 from repro.rdf.namespace import EX
 from repro.rdf.terms import Variable
 from repro.sparql.mappings import Mapping

@@ -3,15 +3,7 @@ cost model, plan memoization)."""
 
 import pytest
 
-from repro.evaluation import (
-    CostModel,
-    Engine,
-    PatternStats,
-    Plan,
-    Planner,
-    method_names,
-    strategy_for,
-)
+from repro.evaluation import CostModel, Engine, PatternStats, Planner, method_names, strategy_for
 from repro.exceptions import EvaluationError
 from repro.patterns.build import wdpf
 from repro.rdf.generators import random_graph

@@ -5,7 +5,7 @@ import pytest
 from repro.exceptions import RDFError
 from repro.rdf import RDFGraph, Triple, TriplePattern
 from repro.rdf.namespace import EX
-from repro.rdf.terms import IRI, Variable
+from repro.rdf.terms import Variable
 
 
 class TestBasicOperations:
