@@ -35,6 +35,7 @@ HOT_LOOPS: Tuple[Tuple[str, str], ...] = (
     ("evaluation/wdeval.py", "forest_solutions_stream"),
     ("pebble/kernel.py", "ConsistencyKernel._solve_two_pebbles"),
     ("pebble/kernel.py", "ConsistencyKernel._solve_generic"),
+    ("service/core.py", "QueryService._serve_loop"),
 )
 
 _TICK_NAMES = {"tick"}

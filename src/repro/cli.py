@@ -192,6 +192,47 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "github"), default="text")
     lint.add_argument("--list-rules", action="store_true")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived query service over a line-delimited JSON socket",
+    )
+    serve.add_argument("graph", help="N-Triples style data file to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = pick a free port)"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="worker threads evaluating requests concurrently (default: 4)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="request backlog bound; beyond it requests are rejected with a "
+        "typed overload error (default: 64)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (requests may override)",
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes of the shared session's pool (default: serial)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="exit after answering this many requests (smoke tests)",
+    )
+
     return parser
 
 
@@ -386,6 +427,45 @@ def _command_lint(args: argparse.Namespace) -> int:
     return runner.main(argv)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Lazy import: the service layer is server tooling, not query-path code.
+    from .service import QueryService, ServiceServer
+
+    graph = load_graph(args.graph)
+    session = Session(processes=args.processes)
+    service = QueryService(
+        graph,
+        session=session,
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        default_deadline=args.timeout,
+    )
+    server = ServiceServer(
+        service, host=args.host, port=args.port, max_requests=args.max_requests
+    )
+    host, port = server.address
+    print(
+        f"# serving {len(graph)} triple(s) on {host}:{port} "
+        f"(workers={args.max_inflight}, max_pending={args.max_pending})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+        service.close()
+        stats = service.stats()
+        print(
+            f"# served {stats['completed']} request(s): {stats['ok']} ok, "
+            f"{stats['errors']} error(s), {stats['rejected_overload']} rejected, "
+            f"{stats['deadline_trips']} deadline trip(s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _command_evaluate,
     "check": _command_check,
@@ -394,6 +474,7 @@ _COMMANDS = {
     "classify": _command_classify,
     "validate": _command_validate,
     "lint": _command_lint,
+    "serve": _command_serve,
 }
 
 

@@ -66,10 +66,26 @@ process-local ``id()``\\ s), and the parent merges a received delta through
 (a delta recorded before a mutation is dropped, never merged) and charges
 the regular LRU costs.  Steady-state parallel serving therefore replays
 from the parent cache instead of recomputing per batch.
+
+**Thread safety.**  One cache may be hit concurrently from multiple
+threads (the query service evaluates requests on a thread pool over one
+shared session).  An internal re-entrant lock serializes every
+*structural* operation — store lookup (an LRU hit reorders the recency
+list), insertion, eviction, tree-table management, journal draining and
+delta absorption — while the *computations* (homomorphism searches,
+kernel construction) deliberately run outside the lock: two threads
+missing on the same key may duplicate a computation, but the values are
+deterministic, so whichever insert lands last is identical and no caller
+ever observes a torn entry.  The contract is **safe for concurrent
+readers of unmutated graphs**; serializing graph *mutations* against
+in-flight lookups is the caller's job (the service's
+:class:`~repro.service.gate.ReadWriteGate` — the version-stamped stores
+make a stale read detectable, not impossible).
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
@@ -296,6 +312,11 @@ class EvaluationCache:
         self._graphs: Dict[int, _GraphStore] = {}
         self._trees: Dict[int, _TreeTable] = {}
         self._statistics = CacheStatistics()
+        # Guards every structural operation (lookups reorder the LRU list,
+        # inserts evict) so the cache is safe under the service's thread
+        # pool; re-entrant because primitives call each other (for instance
+        # pebble_winner -> pebble_kernel).  See the module docs.
+        self._lock = threading.RLock()
         # Delta journal: id(graph) -> [(kind, key), ...] of entries memoized
         # since the last export; None until collect_deltas() turns it on.
         self._journal: Optional[Dict[int, List[Tuple[str, Tuple]]]] = None
@@ -313,8 +334,9 @@ class EvaluationCache:
     # --- lifecycle ---------------------------------------------------------
     def clear(self) -> None:
         """Drop every memoized entry (graph stores and tree tables)."""
-        self._graphs.clear()
-        self._trees.clear()
+        with self._lock:
+            self._graphs.clear()
+            self._trees.clear()
 
     def invalidate(self, graph: Optional[RDFGraph] = None) -> None:
         """Explicitly drop the entries of *graph* (or of every graph).
@@ -323,11 +345,12 @@ class EvaluationCache:
         invalidates transparently via the version counter; this exists for
         callers that replace a graph's contents through other means.
         """
-        if graph is None:
-            self._graphs.clear()
-        else:
-            self._graphs.pop(id(graph), None)
-        self._statistics.invalidations += 1
+        with self._lock:
+            if graph is None:
+                self._graphs.clear()
+            else:
+                self._graphs.pop(id(graph), None)
+            self._statistics.invalidations += 1
 
     # --- the worker return channel ------------------------------------------
     def collect_deltas(self) -> None:
@@ -364,34 +387,37 @@ class EvaluationCache:
         dropped.  Returns ``None`` when nothing new was learned, so callers
         can skip pickling empty deltas.
         """
-        if self._journal is None:
-            return None
-        journal, self._journal = self._journal, {}
-        tree_slots = {id(tree): slot for slot, tree in enumerate(trees)}
-        delta = CacheDelta()
-        for slot, (graph, stamp) in enumerate(zip(graphs, stamps)):
-            keys = journal.get(id(graph))
-            if not keys or stamp is None:
-                continue
-            store = self._graphs.get(id(graph))
-            if store is None or store.version != graph.version:
-                continue
-            exported = False
-            for full_key in dict.fromkeys(keys):  # dedupe, keep journal order
-                value = store.entries.get(full_key, _MISSING)
-                if value is _MISSING:  # evicted since it was journaled
+        with self._lock:
+            if self._journal is None:
+                return None
+            journal, self._journal = self._journal, {}
+            tree_slots = {id(tree): slot for slot, tree in enumerate(trees)}
+            delta = CacheDelta()
+            for slot, (graph, stamp) in enumerate(zip(graphs, stamps)):
+                keys = journal.get(id(graph))
+                if not keys or stamp is None:
                     continue
-                kind, key = full_key
-                if kind in _TREE_KEYED_KINDS:
-                    tree_slot = tree_slots.get(key[0])
-                    if tree_slot is None:  # tree outside the shared vocabulary
+                store = self._graphs.get(id(graph))
+                if store is None or store.version != graph.version:
+                    continue
+                exported = False
+                for full_key in dict.fromkeys(keys):  # dedupe, keep journal order
+                    value = store.entries.get(full_key, _MISSING)
+                    if value is _MISSING:  # evicted since it was journaled
                         continue
-                    key = (tree_slot,) + key[1:]
-                delta.entries.append((slot, kind, key, value, store.costs[full_key]))
-                exported = True
-            if exported:
-                delta.versions[slot] = stamp
-        return delta if delta.entries else None
+                    kind, key = full_key
+                    if kind in _TREE_KEYED_KINDS:
+                        tree_slot = tree_slots.get(key[0])
+                        if tree_slot is None:  # tree outside the shared vocabulary
+                            continue
+                        key = (tree_slot,) + key[1:]
+                    delta.entries.append(
+                        (slot, kind, key, value, store.costs[full_key])
+                    )
+                    exported = True
+                if exported:
+                    delta.versions[slot] = stamp
+            return delta if delta.entries else None
 
     def absorb(
         self,
@@ -414,6 +440,15 @@ class EvaluationCache:
         Returns the number of entries absorbed (already-present entries
         are skipped, preserving the parent's own recency order).
         """
+        with self._lock:
+            return self._absorb_locked(delta, graphs, trees)
+
+    def _absorb_locked(
+        self,
+        delta: CacheDelta,
+        graphs: Sequence[RDFGraph],
+        trees: Sequence[WDPatternTree],
+    ) -> int:
         tree_list = list(trees)
         absorbed = 0
         for entry in delta.entries:
@@ -446,28 +481,33 @@ class EvaluationCache:
 
     # --- stores ------------------------------------------------------------
     def _store(self, graph: RDFGraph) -> _GraphStore:
-        key = id(graph)
-        store = self._graphs.get(key)
-        if store is None:
-            store = _GraphStore(graph.version)
-            self._graphs[key] = store
-            # Evict the store when the graph is collected so that a recycled
-            # id() can never alias stale entries.
-            graphs = self._graphs
-            weakref.finalize(graph, graphs.pop, key, None)
-        elif store.version != graph.version:
-            store.reset(graph.version)
-            self._statistics.invalidations += 1
-        return store
+        with self._lock:
+            key = id(graph)
+            store = self._graphs.get(key)
+            if store is None:
+                store = _GraphStore(graph.version)
+                self._graphs[key] = store
+                # Evict the store when the graph is collected so that a
+                # recycled id() can never alias stale entries.
+                graphs = self._graphs
+                weakref.finalize(graph, graphs.pop, key, None)
+            elif store.version != graph.version:
+                store.reset(graph.version)
+                self._statistics.invalidations += 1
+            return store
 
     def _tree_table(self, tree: WDPatternTree) -> _TreeTable:
-        table = self._trees.get(id(tree))
-        if table is None:
-            if self._max_entries is not None and len(self._trees) >= self._max_entries:
-                self._evict_tree_table()
-            table = _TreeTable(tree)
-            self._trees[id(tree)] = table
-        return table
+        with self._lock:
+            table = self._trees.get(id(tree))
+            if table is None:
+                if (
+                    self._max_entries is not None
+                    and len(self._trees) >= self._max_entries
+                ):
+                    self._evict_tree_table()
+                table = _TreeTable(tree)
+                self._trees[id(tree)] = table
+            return table
 
     def _evict_tree_table(self) -> None:
         """Drop the oldest tree table (and with it the strong pin on its tree).
@@ -492,21 +532,31 @@ class EvaluationCache:
         value: object,
         cost: int = 1,
     ) -> None:
-        if self._max_entries is not None:
-            while store.entries and store.total_cost + cost > self._max_entries:
-                store.evict_one()
-                self._statistics.evictions += 1
-        store.put(kind, key, value, cost)
-        if self._journal is not None and kind in _DELTA_KINDS:
-            self._journal.setdefault(id(graph), []).append((kind, key))
+        with self._lock:
+            if self._max_entries is not None:
+                while store.entries and store.total_cost + cost > self._max_entries:
+                    store.evict_one()
+                    self._statistics.evictions += 1
+            store.put(kind, key, value, cost)
+            if self._journal is not None and kind in _DELTA_KINDS:
+                self._journal.setdefault(id(graph), []).append((kind, key))
 
     # --- memoized primitives ----------------------------------------------
     def target_index(self, graph: RDFGraph) -> TargetIndex:
         """The (per-version memoized) triple index of *graph*."""
-        store = self._store(graph)
-        if store.index is None:
-            store.index = target_index(graph)
-        return store.index
+        with self._lock:
+            store = self._store(graph)
+            index = store.index
+        if index is None:
+            # Built outside the lock: two threads may duplicate the build,
+            # but the index is deterministic and the last write wins.
+            index = target_index(graph)
+            with self._lock:
+                store = self._store(graph)
+                if store.index is None:
+                    store.index = index
+                index = store.index
+        return index
 
     def extension_exists(
         self, triples: TGraph, graph: RDFGraph, mu: Mapping, budget=None
@@ -516,21 +566,22 @@ class EvaluationCache:
         The key restricts ``µ`` to the variables of *triples*, so mappings
         that agree there share a single homomorphism search.
         """
-        store = self._store(graph)
         fixed: Dict[Variable, Term] = {
             var: mu[var] for var in triples.variables() & mu.domain()
         }
         key = (triples.triples(), frozenset(fixed.items()))
-        cached = store.get("hom", key)
-        if cached is not _MISSING:
-            self._statistics.hom_hits += 1
-            return cached  # type: ignore[return-value]
-        self._statistics.hom_misses += 1
+        with self._lock:
+            store = self._store(graph)
+            cached = store.get("hom", key)
+            if cached is not _MISSING:
+                self._statistics.hom_hits += 1
+                return cached  # type: ignore[return-value]
+            self._statistics.hom_misses += 1
         result = (
             find_homomorphism(triples, graph, fixed, self.target_index(graph), budget)
             is not None
         )
-        self._bounded_insert(graph, store, "hom", key, result)
+        self._bounded_insert(graph, self._store(graph), "hom", key, result)
         return result
 
     def homomorphisms_stream(
@@ -551,13 +602,14 @@ class EvaluationCache:
         """
         from ..hom.homomorphism import all_homomorphisms
 
-        store = self._store(graph)
         key = (source.triples(),)
-        cached = store.get("homlist", key)
-        if cached is not _MISSING:
-            self._statistics.enum_hits += 1
-            return iter(cached)  # type: ignore[arg-type]
-        self._statistics.enum_misses += 1
+        with self._lock:
+            store = self._store(graph)
+            cached = store.get("homlist", key)
+            if cached is not _MISSING:
+                self._statistics.enum_hits += 1
+                return iter(cached)  # type: ignore[arg-type]
+            self._statistics.enum_misses += 1
         # Snapshot the version together with the index: both belong to the
         # graph as it is *now*.  If the graph mutates before (or while) the
         # stream is consumed, the completion check below fails and nothing
@@ -598,19 +650,22 @@ class EvaluationCache:
         every mapping evaluated against the same child instance shares one
         µ-independent precomputation (and the cache's shared target index).
         """
-        store = self._store(graph)
         key = (extended.triples(), extended.distinguished, pebbles)
-        kernel = store.get("kernel", key)
-        if kernel is not _MISSING:
-            self._statistics.kernel_hits += 1
-            return kernel  # type: ignore[return-value]
-        self._statistics.kernel_misses += 1
+        with self._lock:
+            store = self._store(graph)
+            kernel = store.get("kernel", key)
+            if kernel is not _MISSING:
+                self._statistics.kernel_hits += 1
+                return kernel  # type: ignore[return-value]
+            self._statistics.kernel_misses += 1
         # prepare() forces the µ-independent setup now so the size accounting
         # charges the built state (and warmed kernels are actually warm).
         kernel = ConsistencyKernel(
             extended, graph, pebbles, index=self.target_index(graph)
         ).prepare()
-        self._bounded_insert(graph, store, "kernel", key, kernel, cost=kernel.cost())
+        self._bounded_insert(
+            graph, self._store(graph), "kernel", key, kernel, cost=kernel.cost()
+        )
         return kernel
 
     def pebble_winner(
@@ -623,16 +678,17 @@ class EvaluationCache:
     ) -> bool:
         """Memoized existential *pebbles*-pebble game verdict
         ``(S, X) →µ_pebbles G``, answered through the shared kernel."""
-        store = self._store(graph)
         fixed = frozenset(
             (var, mu[var]) for var in extended.distinguished if var in mu
         )
         key = (extended.triples(), extended.distinguished, fixed, pebbles)
-        cached = store.get("pebble", key)
-        if cached is not _MISSING:
-            self._statistics.pebble_hits += 1
-            return cached  # type: ignore[return-value]
-        self._statistics.pebble_misses += 1
+        with self._lock:
+            store = self._store(graph)
+            cached = store.get("pebble", key)
+            if cached is not _MISSING:
+                self._statistics.pebble_hits += 1
+                return cached  # type: ignore[return-value]
+            self._statistics.pebble_misses += 1
         result = self.pebble_kernel(extended, graph, pebbles).winner(mu, budget=budget)
         # Re-fetch the store: building the kernel may have reset it if the
         # graph was mutated concurrently (defensive; same-version re-fetch is
@@ -646,10 +702,11 @@ class EvaluationCache:
         """Memoized witness subtree ``T^µ`` (``None`` when none exists)."""
         from .wdeval import find_mu_subtree  # deferred: wdeval imports this module
 
-        store = self._store(graph)
-        self._tree_table(tree)  # pin the tree so the id() key stays valid
         key = (id(tree), frozenset(mu.items()))
-        cached = store.get("subtree", key)
+        with self._lock:
+            store = self._store(graph)
+            self._tree_table(tree)  # pin the tree so the id() key stays valid
+            cached = store.get("subtree", key)
         if cached is not _MISSING:
             self._statistics.subtree_hits += 1
             nodes = cached
@@ -657,7 +714,7 @@ class EvaluationCache:
             self._statistics.subtree_misses += 1
             subtree = find_mu_subtree(tree, graph, mu)
             nodes = subtree.nodes if subtree is not None else None
-            self._bounded_insert(graph, store, "subtree", key, nodes)
+            self._bounded_insert(graph, self._store(graph), "subtree", key, nodes)
         if nodes is None:
             return None
         return Subtree(tree, nodes)
@@ -671,26 +728,29 @@ class EvaluationCache:
         when an enumeration runs to completion; keyed per tree and graph
         version, so mutation invalidates transparently.
         """
-        store = self._store(graph)
-        self._tree_table(tree)  # pin the tree so the id() key stays valid
-        cached = store.get("treesol", (id(tree),))
-        if cached is _MISSING:
-            self._statistics.enum_misses += 1
-            return None
-        self._statistics.enum_hits += 1
-        return cached  # type: ignore[return-value]
+        with self._lock:
+            store = self._store(graph)
+            self._tree_table(tree)  # pin the tree so the id() key stays valid
+            cached = store.get("treesol", (id(tree),))
+            if cached is _MISSING:
+                self._statistics.enum_misses += 1
+                return None
+            self._statistics.enum_hits += 1
+            return cached  # type: ignore[return-value]
 
     def store_tree_solution_list(
         self, tree: WDPatternTree, graph: RDFGraph, solutions: Iterable[Mapping]
     ) -> None:
         """Record the complete answer list of *tree* over *graph* (charged
         roughly one cost unit per solution, like homomorphism lists)."""
-        store = self._store(graph)
-        self._tree_table(tree)
         solutions = tuple(solutions)
-        self._bounded_insert(
-            graph, store, "treesol", (id(tree),), solutions, cost=1 + len(solutions)
-        )
+        with self._lock:
+            store = self._store(graph)
+            self._tree_table(tree)
+            self._bounded_insert(
+                graph, store, "treesol", (id(tree),), solutions,
+                cost=1 + len(solutions),
+            )
 
     # --- warm-up ------------------------------------------------------------
     def warm_pebble(
@@ -734,6 +794,9 @@ class EvaluationCache:
         return count
 
     # --- per-tree structure tables ------------------------------------------
+    # The table dicts are filled with deterministic, tree-only values through
+    # GIL-atomic get/set, so concurrent fillers can at worst duplicate a
+    # computation — no lock needed beyond _tree_table() itself.
     def subtree_children(self, tree: WDPatternTree, nodes: FrozenSet[int]) -> Tuple[int, ...]:
         """Memoized ``Subtree.children()`` for the subtree on *nodes*."""
         table = self._tree_table(tree)

@@ -57,6 +57,7 @@ over this class.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import warnings
 from queue import Empty
 from time import monotonic, sleep
@@ -463,6 +464,16 @@ class Session:
     pool path recovers from worker crashes (retry once, then serial re-run
     in the parent) without losing or duplicating answers.
 
+    **Thread safety.**  One session may be driven from multiple threads —
+    the :class:`~repro.service.QueryService` evaluates requests on a
+    thread pool over one shared session.  The engine memo and the
+    session-lifetime resilience counters are lock-guarded here, and the
+    shared :class:`~repro.evaluation.cache.EvaluationCache` serializes its
+    own structural operations (see its module docs).  The contract is
+    *safe for concurrent readers of unmutated graphs*: callers that mutate
+    a served graph must serialize the mutation against in-flight calls
+    themselves (the service does this with its reader/writer gate).
+
     Parameters
     ----------
     cache:
@@ -553,6 +564,12 @@ class Session:
         # recency (hits re-insert).  The source reference keeps id()-based
         # keys valid while the entry lives; eviction drops both.
         self._engines: Dict[object, Tuple[object, Engine]] = {}
+        # Guards the engine memo (the LRU hit pops and re-inserts) and the
+        # session-lifetime resilience counters: the query service drives one
+        # session from many threads, and the shared EvaluationCache already
+        # carries its own lock.  See the class docstring's thread-safety
+        # paragraph.
+        self._memo_lock = threading.Lock()
 
     # --- introspection -----------------------------------------------------
     @property
@@ -620,7 +637,8 @@ class Session:
         statistics: Optional[EvaluationStatistics] = None,
     ) -> None:
         """Bump a resilience counter on the session (and per-call) stats."""
-        setattr(self._statistics, attr, getattr(self._statistics, attr) + n)
+        with self._memo_lock:
+            setattr(self._statistics, attr, getattr(self._statistics, attr) + n)
         if statistics is not None:
             setattr(statistics, attr, getattr(statistics, attr) + n)
 
@@ -628,7 +646,8 @@ class Session:
         self, statistics: Optional[EvaluationStatistics], exc: DeadlineExceeded
     ) -> None:
         """Account a deadline trip once, wherever it was first raised."""
-        self._statistics.deadline_trips += 1
+        with self._memo_lock:
+            self._statistics.deadline_trips += 1
         if statistics is not None and exc.statistics is not statistics:
             # Not yet accounted on this object by a lower layer (Engine
             # attaches the statistics it bumped to the exception).
@@ -783,10 +802,11 @@ class Session:
                 f"expected an Engine, GraphPattern or WDPatternForest, "
                 f"got {type(pattern).__name__}"
             )
-        hit = self._engines.pop(key, None)
-        if hit is not None:
-            self._engines[key] = hit  # re-insert at the recent end (LRU)
-            return hit[1]
+        with self._memo_lock:
+            hit = self._engines.pop(key, None)
+            if hit is not None:
+                self._engines[key] = hit  # re-insert at the recent end (LRU)
+                return hit[1]
         if isinstance(pattern, Engine):
             engine = Engine(
                 pattern.pattern,
@@ -798,10 +818,18 @@ class Session:
             engine = Engine(forest=pattern, width_bound=width_bound, cache=self._cache)
         else:
             engine = Engine(pattern, width_bound=width_bound, cache=self._cache)
-        if self._max_engines is not None:
-            while len(self._engines) >= self._max_engines:
-                self._engines.pop(next(iter(self._engines)))
-        self._engines[key] = (pattern, engine)
+        with self._memo_lock:
+            # A concurrent builder may have memoized the same structural key
+            # while this engine was constructed; keep the first one so every
+            # thread converges on a single shared engine.
+            hit = self._engines.pop(key, None)
+            if hit is not None:
+                self._engines[key] = hit
+                return hit[1]
+            if self._max_engines is not None:
+                while len(self._engines) >= self._max_engines:
+                    self._engines.pop(next(iter(self._engines)))
+            self._engines[key] = (pattern, engine)
         return engine
 
     # --- planning ----------------------------------------------------------

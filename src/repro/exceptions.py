@@ -85,6 +85,36 @@ class WorkerCrashError(EvaluationError):
         super().__init__(message)
 
 
+class ServiceError(ReproError):
+    """Raised for failures of the long-lived query service layer
+    (:mod:`repro.service`): bad requests, unknown graphs or operations,
+    and lifecycle misuse.  The admission-control and lifecycle rejections
+    have dedicated subclasses so clients can react in a typed way."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Typed admission-control rejection of the query service: the request
+    backlog is full (``max_pending``) and every worker is busy
+    (``max_inflight``), so instead of queueing forever the service rejects
+    immediately.  Carries the observed backlog so clients can back off."""
+
+    def __init__(self, message: str, pending: int = 0, max_pending: int = 0) -> None:
+        self.pending = pending
+        self.max_pending = max_pending
+        super().__init__(message)
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request is submitted to a closed (or closing)
+    :class:`~repro.service.QueryService`, and used as the typed error of
+    responses drained during shutdown."""
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed line-delimited JSON protocol messages: bad
+    JSON, missing/unknown fields, oversized lines, wrong value shapes."""
+
+
 class WidthComputationError(ReproError):
     """Raised when a width measure cannot be computed for the given input."""
 

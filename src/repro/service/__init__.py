@@ -1,0 +1,38 @@
+"""A long-lived concurrent query service over one shared warm session.
+
+The server-shaped front end of the library (the ROADMAP's "heavy traffic"
+layer): :class:`QueryService` answers membership / enumeration / explain /
+update requests on a thread pool over one shared
+:class:`~repro.evaluation.session.Session`, with a reader/writer
+:class:`~repro.service.gate.ReadWriteGate` pinning every response to one
+``RDFGraph.version``, typed admission control, per-request deadlines and
+rich introspection.  :class:`ServiceServer` / :class:`ServiceClient` speak
+the line-delimited JSON socket protocol (``repro serve``); see
+``docs/service.md`` for the full protocol and semantics.
+"""
+
+from .core import (
+    DEFAULT_GRAPH,
+    OPERATIONS,
+    PendingResponse,
+    QueryService,
+    Request,
+    Response,
+    ServiceStats,
+)
+from .gate import ReadWriteGate
+from .server import ServiceServer
+from .client import ServiceClient
+
+__all__ = [
+    "DEFAULT_GRAPH",
+    "OPERATIONS",
+    "PendingResponse",
+    "QueryService",
+    "ReadWriteGate",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "ServiceServer",
+    "ServiceStats",
+]

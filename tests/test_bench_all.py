@@ -15,6 +15,7 @@ class TestDiscovery:
         assert found["bench_pebble_kernel.py"] == "BENCH_pebble_kernel.json"
         assert found["bench_session_enumeration.py"] == "BENCH_session_enumeration.json"
         assert found["bench_large_graph.py"] == "BENCH_large_graph.json"
+        assert found["bench_service_load.py"] == "BENCH_service_load.json"
 
     def test_discovered_benchmarks_support_smoke_mode(self):
         """CI runs the driver without --full; every discovered script must

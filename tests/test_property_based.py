@@ -1,9 +1,11 @@
 """Property-based tests (hypothesis) for the core data structures and the
 paper's key invariants."""
 
+import threading
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.evaluation import evaluate_pattern, forest_contains, forest_contains_pebble, forest_solutions
+from repro.evaluation import Session, evaluate_pattern, forest_contains, forest_contains_pebble, forest_solutions
 from repro.hom import GeneralizedTGraph, TGraph, core_of, ctw, has_homomorphism, is_core, maps_to, tw
 from repro.patterns import WDPatternForest, wdpf
 from repro.rdf import RDFGraph, Triple
@@ -172,3 +174,41 @@ def test_natural_algorithm_matches_membership_in_solution_set(seed, graph):
     solutions = evaluate_pattern(pattern, graph)
     for mu in list(solutions)[:4]:
         assert forest_contains(forest, graph, mu)
+
+
+# --- cache thread-safety invariant (the query-service contract) ------------------
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), rdf_graphs())
+def test_shared_warm_cache_under_threads_never_changes_a_verdict(seed, graph):
+    """A shared EvaluationCache hit concurrently from worker threads (the
+    query-service configuration: one warm session, unmutated graph) yields
+    exactly the answers and verdicts a cold cache computes serially."""
+    patterns = [random_wd_pattern(num_nodes=2, seed=seed + i) for i in range(3)]
+    cold = [Session().solutions(pattern, graph) for pattern in patterns]
+    candidates = [sorted(answers, key=repr)[:2] for answers in cold]
+
+    shared = Session()
+    shared.solutions(patterns[0], graph)  # pre-warm one cell: mixed hit/miss
+    results = [[None] * len(patterns) for _ in range(4)]
+    verdicts = [[None] * len(patterns) for _ in range(4)]
+
+    def hammer(thread_index):
+        for i, pattern in enumerate(patterns):
+            results[thread_index][i] = shared.solutions(pattern, graph)
+            verdicts[thread_index][i] = shared.check_many(
+                pattern, graph, candidates[i]
+            )
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads)
+
+    for thread_index in range(4):
+        for i in range(len(patterns)):
+            assert results[thread_index][i] == cold[i]
+            assert verdicts[thread_index][i] == [True] * len(candidates[i])
