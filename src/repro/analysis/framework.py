@@ -30,6 +30,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -237,12 +238,20 @@ class RunResult:
         return not self.findings
 
 
-def run_rules(project: Project, rules: Sequence[Rule]) -> RunResult:
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    timings: Optional[Dict[str, float]] = None,
+) -> RunResult:
     """Run *rules* over *project*, applying line-exact suppressions.
 
     Parse failures and unknown-suppression-id errors surface as findings of
     the framework rules (``RP-PARSE`` / ``RP-SUPPRESS``); those two are not
     suppressible — a broken file or a typo'd suppression must always fail.
+
+    When *timings* is given, each rule's wall time in seconds is recorded
+    under its id (monotonic ``perf_counter`` deltas — the CI lint job
+    prints them so a pathologically slow interprocedural rule is visible).
     """
     seen_ids: Set[str] = set()
     for rule in rules:
@@ -259,11 +268,14 @@ def run_rules(project: Project, rules: Sequence[Rule]) -> RunResult:
         if file.parse_error is not None:
             findings.append(file.parse_error)
     for rule in rules:
+        started = time.perf_counter()
         for finding in rule.run(project):
             if suppressions.covers(finding):
                 suppressed.append(finding)
             else:
                 findings.append(finding)
+        if timings is not None:
+            timings[rule.id] = time.perf_counter() - started
     findings.sort()
     suppressed.sort()
     return RunResult(findings=findings, suppressed=suppressed)

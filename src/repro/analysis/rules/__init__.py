@@ -5,12 +5,16 @@ from __future__ import annotations
 from typing import List
 
 from ..framework import Rule
+from .blocking import HoldWhileBlockingRule
 from .budgets import MonotonicRule, TickRule
 from .caching import IdKeyRule
 from .exceptions_rule import ExceptionTaxonomyRule
 from .forkstate import ForkStateRule
+from .guards import GuardedByRule
+from .lockorder import LockOrderRule
 from .pickling import PoolPayloadRule
 from .versioning import VersionBumpRule
+from .yields import YieldUnderLockRule
 
 __all__ = ["default_rules"]
 
@@ -25,4 +29,8 @@ def default_rules() -> List[Rule]:
         MonotonicRule(),
         ExceptionTaxonomyRule(),
         ForkStateRule(),
+        GuardedByRule(),
+        LockOrderRule(),
+        HoldWhileBlockingRule(),
+        YieldUnderLockRule(),
     ]

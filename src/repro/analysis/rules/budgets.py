@@ -22,7 +22,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Set, Tuple
 
-from ..framework import Finding, Project, Rule, own_statements, qualname_index
+from ..callgraph import project_callgraph
+from ..framework import Finding, Project, Rule, own_statements
 
 __all__ = ["TickRule", "MonotonicRule", "HOT_LOOPS"]
 
@@ -83,12 +84,13 @@ class TickRule(Rule):
     title = "registered hot loops call tick() in every while / outermost for"
 
     def run(self, project: Project) -> Iterator[Finding]:
+        graph = project_callgraph(project)
         for suffix, qualname in HOT_LOOPS:
             module = project.module(suffix)
             if module is None or module.tree is None:
                 continue  # fixture projects carry only the module under test
-            index = qualname_index(module.tree)
-            func = index.get(qualname)
+            info = graph.lookup(suffix, qualname)
+            func = info.node if info is not None else None
             if func is None or not isinstance(
                 func, (ast.FunctionDef, ast.AsyncFunctionDef)
             ):

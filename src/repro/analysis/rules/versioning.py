@@ -28,6 +28,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Set
 
+from ..callgraph import project_callgraph
 from ..framework import Finding, Project, Rule, attribute_root, chain_attributes
 
 __all__ = ["VersionBumpRule"]
@@ -165,9 +166,11 @@ class VersionBumpRule(Rule):
         for file in project.parsed():
             for node in ast.walk(file.tree):
                 if isinstance(node, ast.ClassDef) and node.name in _GRAPH_CLASSES:
-                    yield from self._check_class(file, node)
+                    yield from self._check_class(project, file, node)
 
-    def _check_class(self, file, cls: ast.ClassDef) -> Iterator[Finding]:
+    def _check_class(
+        self, project: Project, file, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
         methods: Dict[str, ast.FunctionDef] = {
             item.name: item
             for item in cls.body
@@ -175,19 +178,41 @@ class VersionBumpRule(Rule):
         }
         facts = {name: _collect(func) for name, func in methods.items()}
 
+        # The reachability engine is the shared project call graph; the old
+        # hand-rolled self-call walk survives as an edge filter: follow only
+        # ``self.<m>()`` edges into this class's own (non-exempt) methods.
+        graph = project_callgraph(project)
+        ref_by_node = {
+            id(info.node): ref
+            for ref, info in graph.functions.items()
+            if ref.path == file.relpath
+        }
+        method_refs = {
+            name: ref_by_node[id(func)]
+            for name, func in methods.items()
+            if id(func) in ref_by_node
+        }
+        allowed = set(method_refs.values())
+        name_by_ref = {ref: name for name, ref in method_refs.items()}
+
         def closure(name: str, seen: Set[str]) -> _MethodFacts:
-            """Reachable mutation/bump facts through the self-call graph."""
+            """Reachable mutation/bump facts through the self-call closure."""
             combined = _MethodFacts()
-            stack = [name]
-            while stack:
-                current = stack.pop()
-                if current in seen or current not in facts:
+            start = method_refs.get(name)
+            if start is None:
+                return combined
+            reach = graph.reachable(
+                start,
+                edge_filter=lambda edge: edge.via_self and edge.callee in allowed,
+            )
+            for ref in reach:
+                reached_name = name_by_ref.get(ref)
+                if reached_name is None or reached_name in seen:
                     continue
-                seen.add(current)
-                current_facts = facts[current]
+                seen.add(reached_name)
+                current_facts = facts[reached_name]
                 combined.mutates = combined.mutates or current_facts.mutates
                 combined.bumps += current_facts.bumps
-                stack.extend(current_facts.self_calls)
             return combined
 
         for name, func in methods.items():

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -111,7 +112,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every rule id and its invariant, then exit",
     )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (e.g. RP-GUARD,RP-HOLD); "
+        "RP-PARSE/RP-SUPPRESS always apply.  Partial runs skip the "
+        "stale-baseline check — CI's full run still enforces it",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files changed per `git diff "
+        "--name-only HEAD` (plus untracked files).  Rules still scan the "
+        "whole project — the interprocedural rules need full context — "
+        "but the output and exit code consider changed files only; the "
+        "stale-baseline check is skipped (see --rules)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-rule wall time to stderr (the CI lint job sets "
+        "this so a pathologically slow rule is visible in the logs)",
+    )
     return parser
+
+
+def _changed_files(root: Path) -> Optional[List[str]]:
+    """Repo-relative paths touched per git (tracked diffs + untracked), or
+    ``None`` when git is unavailable / not a work tree."""
+    changed: List[str] = []
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            completed = subprocess.run(
+                command,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.extend(
+            line.strip() for line in completed.stdout.splitlines() if line.strip()
+        )
+    return changed
 
 
 def _emit(findings: List[Finding], fmt: str, stream) -> None:
@@ -144,7 +191,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         files.extend(Project.from_directory(directory, root=root).files)
     project = Project(files)
 
-    result = run_rules(project, default_rules())
+    rules = default_rules()
+    if args.rules:
+        wanted = {part.strip() for part in args.rules.split(",") if part.strip()}
+        known = {rule.id for rule in rules} | set(FRAMEWORK_RULE_IDS)
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    timings: Optional[Dict[str, float]] = {} if args.timings else None
+    result = run_rules(project, rules, timings=timings)
+
+    changed: Optional[List[str]] = None
+    if args.changed:
+        changed = _changed_files(root)
+        if changed is None:
+            print(
+                "error: --changed needs git and a work tree (git diff failed)",
+                file=sys.stderr,
+            )
+            return 2
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     entries: List[Dict[str, str]] = []
@@ -158,7 +230,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline_keys = {(e["rule"], e["path"], e["message"]) for e in entries}
     new_findings = [f for f in result.findings if f.key() not in baseline_keys]
     matched_keys = {f.key() for f in result.findings if f.key() in baseline_keys}
-    stale = sorted(baseline_keys - matched_keys)
+    # A partial run (rule subset / changed-files filter) cannot tell a stale
+    # entry from one its filters excluded; only full runs enforce shrinkage.
+    partial = bool(args.rules or args.changed)
+    stale = [] if partial else sorted(baseline_keys - matched_keys)
+    if changed is not None:
+        changed_set = set(changed)
+        new_findings = [f for f in new_findings if f.path in changed_set]
 
     _emit(new_findings, args.format, sys.stdout)
     for error in baseline_errors:
@@ -170,12 +248,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
 
+    if timings is not None:
+        for rule_id, seconds in sorted(
+            timings.items(), key=lambda item: item[1], reverse=True
+        ):
+            print(f"timing: {rule_id}: {seconds * 1000.0:.1f} ms", file=sys.stderr)
+
     scanned = len(project.files)
     summary = (
         f"{scanned} files scanned: {len(new_findings)} finding(s), "
         f"{len(matched_keys)} baselined, {len(result.suppressed)} suppressed, "
         f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
     )
+    if changed is not None:
+        summary += f" (changed-files filter: {len(set(changed))} path(s))"
     print(summary, file=sys.stderr)
 
     if new_findings or stale or baseline_errors:

@@ -191,6 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--baseline", help="baseline JSON file")
     lint.add_argument("--format", choices=("text", "github"), default="text")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--rules", help="comma-separated rule ids to run")
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files in `git diff --name-only`",
+    )
+    lint.add_argument(
+        "--timings", action="store_true", help="print per-rule wall time"
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -424,6 +433,12 @@ def _command_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.changed:
+        argv.append("--changed")
+    if args.timings:
+        argv.append("--timings")
     return runner.main(argv)
 
 

@@ -328,8 +328,9 @@ class EvaluationCache:
         return self._statistics
 
     def __repr__(self) -> str:
-        entries = sum(store.entry_count() for store in self._graphs.values())
-        return f"EvaluationCache(<{len(self._graphs)} graphs, {entries} entries>)"
+        with self._lock:
+            entries = sum(store.entry_count() for store in self._graphs.values())
+            return f"EvaluationCache(<{len(self._graphs)} graphs, {entries} entries>)"
 
     # --- lifecycle ---------------------------------------------------------
     def clear(self) -> None:
@@ -361,13 +362,15 @@ class EvaluationCache:
         copy-on-write copy of an inherited parent cache, so inherited
         entries are never re-shipped — only what the worker itself learns.
         """
-        if self._journal is None:
-            self._journal = {}
+        with self._lock:
+            if self._journal is None:
+                self._journal = {}
 
     @property
     def collecting_deltas(self) -> bool:
         """Whether the delta journal is on (see :meth:`collect_deltas`)."""
-        return self._journal is not None
+        with self._lock:
+            return self._journal is not None
 
     def export_delta(
         self,

@@ -585,7 +585,8 @@ class Session:
     @property
     def engine_count(self) -> int:
         """How many engines the session currently memoizes."""
-        return len(self._engines)
+        with self._memo_lock:
+            return len(self._engines)
 
     @property
     def statistics(self) -> EvaluationStatistics:
@@ -593,11 +594,14 @@ class Session:
         across calls; see
         :meth:`EvaluationStatistics.resilience_summary
         <repro.evaluation.wdeval.EvaluationStatistics.resilience_summary>`)."""
-        return self._statistics
+        # Documented live-counter publication: the object reference is fixed
+        # for the session's lifetime (only the counters inside mutate, under
+        # _memo_lock via _note/_trip), so handing it out unlocked is safe.
+        return self._statistics  # repro: ignore[RP-GUARD]
 
     def __repr__(self) -> str:
         return (
-            f"Session(<{len(self._engines)} engines, "
+            f"Session(<{self.engine_count} engines, "
             f"processes={self._context.processes}, "
             f"workers={self.worker_mode()}>)"
         )
@@ -624,9 +628,17 @@ class Session:
                 mode = "fork-warm" if self._context.warm_on_fork else "fork-cold"
             else:
                 mode = start_method
-        s = self._statistics
-        if s.worker_crashes or s.cells_degraded_serial or s.deadline_trips or s.cells_lost:
-            return f"{mode} [{s.resilience_summary()}]"
+        with self._memo_lock:
+            s = self._statistics
+            eventful = bool(
+                s.worker_crashes
+                or s.cells_degraded_serial
+                or s.deadline_trips
+                or s.cells_lost
+            )
+            summary = s.resilience_summary() if eventful else ""
+        if eventful:
+            return f"{mode} [{summary}]"
         return mode
 
     # --- resilience plumbing ------------------------------------------------

@@ -45,7 +45,7 @@ import queue
 import threading
 from dataclasses import dataclass, field
 from time import monotonic
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union, cast
 
 from ..evaluation.budget import Budget
 from ..evaluation.session import Session
@@ -194,20 +194,20 @@ class ServiceStats:
 
     def __init__(self, max_latency_samples: int = 4096) -> None:
         self._lock = threading.Lock()
-        self._max_samples = max_latency_samples
-        self._started_at = monotonic()
-        self.admitted: Dict[str, int] = {}
-        self.completed = 0
-        self.ok = 0
-        self.errors = 0
-        self.rejected_overload = 0
-        self.deadline_trips = 0
-        self.updates_applied = 0
-        self.triples_added = 0
-        self.triples_removed = 0
-        self.error_types: Dict[str, int] = {}
-        self._latencies: Dict[str, List[float]] = {}
-        self.peak_inflight = 0
+        self._max_samples = max_latency_samples  # immutable after init
+        self._started_at = monotonic()  # immutable after init
+        self.admitted: Dict[str, int] = {}  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.ok = 0  # guarded-by: _lock
+        self.errors = 0  # guarded-by: _lock
+        self.rejected_overload = 0  # guarded-by: _lock
+        self.deadline_trips = 0  # guarded-by: _lock
+        self.updates_applied = 0  # guarded-by: _lock
+        self.triples_added = 0  # guarded-by: _lock
+        self.triples_removed = 0  # guarded-by: _lock
+        self.error_types: Dict[str, int] = {}  # guarded-by: _lock
+        self._latencies: Dict[str, List[float]] = {}  # guarded-by: _lock
+        self.peak_inflight = 0  # guarded-by: _lock
 
     # --- recording ---------------------------------------------------------
     def note_admitted(self, op: str) -> None:
@@ -393,13 +393,16 @@ class QueryService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def __repr__(self) -> str:
+        with self._lock:
+            backlog, closed = self._backlog, self._closed
         return (
             f"QueryService(<{len(self._graphs)} graphs, "
-            f"workers={self._max_inflight}, backlog={self._backlog}, "
-            f"closed={self._closed}>)"
+            f"workers={self._max_inflight}, backlog={backlog}, "
+            f"closed={closed}>)"
         )
 
     def stats(self) -> dict:
@@ -463,7 +466,11 @@ class QueryService:
             self._sequence += 1
             self._backlog += 1
             self._stats.note_admitted(request.op)
-            self._queue.put(pending)
+            # put_nowait: identical to put() on an unbounded Queue, but
+            # syntactically non-blocking — enqueueing must stay inside the
+            # lock so close(drain=False) cannot drain between admission and
+            # enqueue (the request would hang unresolved).
+            self._queue.put_nowait(pending)
         return pending
 
     def request(self, request: Request, timeout: Optional[float] = None) -> Response:
@@ -553,7 +560,7 @@ class QueryService:
             item = self._queue.get()
             if isinstance(item, _Stop):
                 break
-            pending: PendingResponse = item
+            pending = cast(PendingResponse, item)
             with self._lock:
                 self._backlog -= 1
                 self._inflight += 1
@@ -732,12 +739,14 @@ class QueryService:
                     break
                 if isinstance(item, _Stop):
                     continue
+                stranded = cast(PendingResponse, item)
                 with self._lock:
                     self._backlog -= 1
                 self._finish(
-                    item,
+                    stranded,
                     self._error_response(
-                        item, ServiceClosedError("service closed before execution")
+                        stranded,
+                        ServiceClosedError("service closed before execution"),
                     ),
                 )
         for _thread in self._threads:

@@ -46,12 +46,14 @@ class ReadWriteGate:
     @property
     def readers(self) -> int:
         """How many readers currently hold the gate (diagnostics only)."""
-        return self._readers
+        with self._cond:
+            return self._readers
 
     @property
     def writer_active(self) -> bool:
         """Whether a writer currently holds the gate (diagnostics only)."""
-        return self._writer_active
+        with self._cond:
+            return self._writer_active
 
     # --- acquisition -------------------------------------------------------
     def acquire_read(self, timeout: Optional[float] = None) -> bool:
@@ -140,10 +142,11 @@ class ReadWriteGate:
             self.release_write()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"ReadWriteGate(readers={self._readers}, "
-            f"writer={self._writer_active}, waiting={self._writers_waiting})"
-        )
+        with self._cond:
+            return (
+                f"ReadWriteGate(readers={self._readers}, "
+                f"writer={self._writer_active}, waiting={self._writers_waiting})"
+            )
 
 
 def _allowance(budget) -> Optional[float]:

@@ -45,7 +45,7 @@ pure data plumbing — no sockets; :mod:`repro.service.server` and
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import ProtocolError
 from ..rdf.terms import Variable
@@ -150,7 +150,9 @@ def triple_from_wire(item: object) -> Triple:
 
 
 # --- requests --------------------------------------------------------------
-def _field(message: dict, name: str, kind: type, default: object) -> object:
+def _field(message: dict, name: str, kind: type, default: object) -> Any:
+    # Any return: callers assign into precisely-typed Request fields after
+    # this runtime check has enforced the shape.
     value = message.get(name, default)
     if value is default:
         return default

@@ -58,10 +58,10 @@ class ServiceServer:
         self._service = service
         self._listener = socket.create_server((host, port))
         self._max_requests = max_requests
-        self._served = 0
+        self._served = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._closing = False
-        self._threads: list = []
+        self._closing = False  # guarded-by: _lock
+        self._threads: list = []  # guarded-by: _lock
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -81,7 +81,9 @@ class ServiceServer:
                 connection, _peer = self._listener.accept()
             except OSError:
                 break  # listener closed by shutdown()
-            if self._closing:
+            with self._lock:
+                closing = self._closing
+            if closing:
                 connection.close()
                 break
             thread = threading.Thread(

@@ -7,18 +7,24 @@ scope themselves by path (``evaluation/cache.py``, ``session.py``, …).
 """
 
 import json
+import subprocess
 import textwrap
 
 import pytest
 
 from repro.analysis import default_rules, rule_registry, run_rules
+from repro.analysis.callgraph import project_callgraph
 from repro.analysis.framework import Finding, Project
+from repro.analysis.rules.blocking import HoldWhileBlockingRule
 from repro.analysis.rules.budgets import MonotonicRule, TickRule
 from repro.analysis.rules.caching import IdKeyRule
 from repro.analysis.rules.exceptions_rule import ExceptionTaxonomyRule
 from repro.analysis.rules.forkstate import ForkStateRule
+from repro.analysis.rules.guards import GuardedByRule
+from repro.analysis.rules.lockorder import LOCK_ORDER, LockOrderRule, _find_cycle
 from repro.analysis.rules.pickling import PoolPayloadRule
 from repro.analysis.rules.versioning import VersionBumpRule
+from repro.analysis.rules.yields import YieldUnderLockRule
 from repro.analysis.runner import main as lint_main
 
 
@@ -435,6 +441,420 @@ def test_forkstate_rule_flags_mutator_calls_and_global_rebind():
     assert any("rebinds module global _ENUM_STATE" in m for m in messages)
 
 
+# --- the call graph -----------------------------------------------------------
+
+STORE_SRC = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def add(self, item):
+            self._bump()
+
+        def _bump(self):
+            self._note()
+
+        def _note(self):
+            self.count += 1
+
+        def loop(self):
+            return self.loop()
+
+        def ping(self):
+            return self.pong()
+
+        def pong(self):
+            return self.ping()
+"""
+
+
+def test_callgraph_self_call_closure():
+    graph = project_callgraph(project(src__repro__store=STORE_SRC))
+    info = graph.lookup("store.py", "Store.add")
+    edges = graph.callees(info.ref)
+    assert [edge.callee.qualname for edge in edges] == ["Store._bump"]
+    assert edges[0].via_self
+    reached = {ref.qualname for ref in graph.reachable(info.ref)}
+    assert reached == {"Store.add", "Store._bump", "Store._note"}
+
+
+def test_callgraph_max_depth_bounds_closure():
+    graph = project_callgraph(project(src__repro__store=STORE_SRC))
+    info = graph.lookup("store.py", "Store.add")
+    reached = {ref.qualname for ref in graph.reachable(info.ref, max_depth=1)}
+    assert reached == {"Store.add", "Store._bump"}
+
+
+def test_callgraph_recursion_terminates():
+    graph = project_callgraph(project(src__repro__store=STORE_SRC))
+    direct = graph.lookup("store.py", "Store.loop")
+    assert {r.qualname for r in graph.reachable(direct.ref)} == {"Store.loop"}
+    mutual = graph.lookup("store.py", "Store.ping")
+    assert {r.qualname for r in graph.reachable(mutual.ref)} == {
+        "Store.ping",
+        "Store.pong",
+    }
+
+
+def test_callgraph_attribute_method_resolution():
+    proj = project(
+        src__repro__svc="""
+        class Stats:
+            def note(self):
+                self.hits += 1
+
+        class Service:
+            def __init__(self):
+                self._stats = Stats()
+
+            def record(self):
+                self._stats.note()
+        """
+    )
+    graph = project_callgraph(proj)
+    assert graph.attr_type("Service", "_stats") == "Stats"
+    info = graph.lookup("svc.py", "Service.record")
+    edges = graph.callees(info.ref)
+    assert [edge.callee.qualname for edge in edges] == ["Stats.note"]
+    assert not edges[0].via_self  # different instance: never a same-lock proof
+
+
+# --- RP-GUARD -----------------------------------------------------------------
+
+def test_guard_rule_flags_access_outside_lock():
+    proj = project(
+        src__repro__counter="""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self._hits += 1
+
+            def peek(self):
+                return self._hits
+        """
+    )
+    findings = rule_findings(GuardedByRule(), proj)
+    assert len(findings) == 1
+    assert "Counter._hits accessed without holding" in findings[0].message
+    assert "self._lock" in findings[0].message
+
+
+def test_guard_rule_proves_helper_called_under_lock():
+    proj = project(
+        src__repro__counter="""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self._advance()
+
+            def _advance(self):
+                self._hits += 1
+        """
+    )
+    assert rule_findings(GuardedByRule(), proj) == []
+
+
+def test_guard_rule_never_proves_public_methods():
+    proj = project(
+        src__repro__counter="""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self.advance()
+
+            def advance(self):
+                self._hits += 1
+        """
+    )
+    findings = rule_findings(GuardedByRule(), proj)
+    assert len(findings) == 1
+    assert "Counter._hits" in findings[0].message
+
+
+def test_guard_rule_flags_stale_guarded_by_comment():
+    proj = project(
+        src__repro__counter="""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0  # guarded-by: _missing
+        """
+    )
+    findings = rule_findings(GuardedByRule(), proj)
+    assert len(findings) == 1
+    assert "not a lock attribute" in findings[0].message
+
+
+# --- RP-LOCKORDER -------------------------------------------------------------
+
+def test_lockorder_flags_cycle_and_unsanctioned_edges():
+    proj = project(
+        src__repro__pair="""
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+    )
+    messages = [f.message for f in rule_findings(LockOrderRule(), proj)]
+    assert any("Pair._a -> Pair._b" in m for m in messages)
+    assert any("Pair._b -> Pair._a" in m for m in messages)
+    assert any("lock acquisition cycle" in m for m in messages)
+
+
+def test_lockorder_flags_interprocedural_edge():
+    proj = project(
+        src__repro__nested="""
+        import threading
+
+        class Inner:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def note(self):
+                with self._lock:
+                    pass
+
+        class Outer:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._inner = Inner()
+
+            def submit(self):
+                with self._lock:
+                    self._inner.note()
+        """
+    )
+    findings = rule_findings(LockOrderRule(), proj)
+    assert len(findings) == 1
+    assert "Outer._lock -> Inner._lock" in findings[0].message
+    assert "via Inner.note" in findings[0].message
+
+
+def test_lockorder_accepts_sanctioned_edge_names():
+    # The same shape as the live tree's one sanctioned edge: admission
+    # bookkeeping (ServiceStats._lock) inside the admission lock.
+    proj = project(
+        src__repro__svc="""
+        import threading
+
+        class ServiceStats:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def note(self):
+                with self._lock:
+                    pass
+
+        class QueryService:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._stats = ServiceStats()
+
+            def submit(self):
+                with self._lock:
+                    self._stats.note()
+        """
+    )
+    assert rule_findings(LockOrderRule(), proj) == []
+
+
+def test_lockorder_flags_nonreentrant_reacquisition():
+    proj = project(
+        src__repro__relock="""
+        import threading
+
+        class Relock:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rlock = threading.RLock()
+
+            def bad(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+
+            def fine(self):
+                with self._rlock:
+                    with self._rlock:
+                        pass
+        """
+    )
+    findings = rule_findings(LockOrderRule(), proj)
+    assert len(findings) == 1
+    assert "guaranteed deadlock" in findings[0].message
+
+
+def test_sanctioned_lock_order_is_acyclic():
+    assert _find_cycle(set(LOCK_ORDER)) is None
+
+
+# --- RP-HOLD ------------------------------------------------------------------
+
+def test_hold_rule_flags_blocking_queue_put_under_lock():
+    proj = project(
+        src__repro__pump="""
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._queue = queue.Queue()
+
+            def push(self, item):
+                with self._lock:
+                    self._queue.put(item)
+
+            def push_fast(self, item):
+                with self._lock:
+                    self._queue.put_nowait(item)
+
+            def pull(self):
+                with self._lock:
+                    return self._queue.get(timeout=0.5)
+        """
+    )
+    findings = rule_findings(HoldWhileBlockingRule(), proj)
+    assert len(findings) == 1
+    assert "queue .put() without a timeout" in findings[0].message
+    assert "Pump._lock" in findings[0].message
+
+
+def test_hold_rule_follows_call_graph_to_blocking_op():
+    proj = project(
+        src__repro__pump="""
+        import threading
+        import time
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def drain(self):
+                with self._lock:
+                    self._settle()
+
+            def _settle(self):
+                time.sleep(0.1)
+        """
+    )
+    findings = rule_findings(HoldWhileBlockingRule(), proj)
+    assert len(findings) == 1
+    assert "call to Pump._settle" in findings[0].message
+    assert "reaches blocking time.sleep()" in findings[0].message
+
+
+def test_hold_rule_condition_wait_releases_its_own_lock():
+    proj = project(
+        src__repro__gatelike="""
+        import threading
+
+        class GateLike:
+            def __init__(self):
+                self._cond = threading.Condition()
+
+            def wait_turn(self):
+                with self._cond:
+                    self._cond.wait()
+        """
+    )
+    assert rule_findings(HoldWhileBlockingRule(), proj) == []
+
+
+def test_hold_rule_condition_wait_still_blocks_other_locks():
+    proj = project(
+        src__repro__gatelike="""
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+
+            def bad_wait(self):
+                with self._lock:
+                    with self._cond:
+                        self._cond.wait()
+        """
+    )
+    findings = rule_findings(HoldWhileBlockingRule(), proj)
+    assert len(findings) == 1
+    assert ".wait() without a timeout" in findings[0].message
+    assert "TwoLocks._lock" in findings[0].message
+    assert "TwoLocks._cond" not in findings[0].message  # released by wait()
+
+
+# --- RP-YIELD -----------------------------------------------------------------
+
+def test_yield_rule_flags_yield_under_lock_only():
+    proj = project(
+        src__repro__streamer="""
+        import threading
+
+        class Streamer:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def stream(self):
+                with self._lock:
+                    for item in self._items:
+                        yield item
+
+            def stream_snapshot(self):
+                with self._lock:
+                    snapshot = list(self._items)
+                for item in snapshot:
+                    yield item
+
+            def make_gen(self):
+                with self._lock:
+                    def gen():
+                        yield 1
+                    return gen
+        """
+    )
+    findings = rule_findings(YieldUnderLockRule(), proj)
+    assert len(findings) == 1
+    assert "yield while holding Streamer._lock" in findings[0].message
+
+
 # --- suppressions -------------------------------------------------------------
 
 def test_suppression_on_exact_line_silences_the_rule():
@@ -549,6 +969,47 @@ def test_runner_github_format(fake_repo, capsys):
     assert "::error file=src/repro/clock.py,line=5,title=RP-MONO::" in out
 
 
+def test_runner_rules_filter_selects_rules(fake_repo):
+    assert lint_main(["--root", str(fake_repo), "--rules", "RP-TICK"]) == 0
+    assert lint_main(["--root", str(fake_repo), "--rules", "RP-MONO"]) == 1
+
+
+def test_runner_unknown_rule_id_is_usage_error(fake_repo, capsys):
+    assert lint_main(["--root", str(fake_repo), "--rules", "RP-NOPE"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_runner_partial_run_skips_stale_baseline_check(fake_repo):
+    stale = baseline_entry()
+    stale["message"] = "a finding that never fires"
+    write_baseline(fake_repo, [baseline_entry(), stale])
+    assert lint_main(["--root", str(fake_repo)]) == 1  # full run: stale fails
+    assert lint_main(["--root", str(fake_repo), "--rules", "RP-MONO"]) == 0
+
+
+def test_runner_timings_prints_per_rule(fake_repo, capsys):
+    lint_main(["--root", str(fake_repo), "--timings", "--rules", "RP-MONO"])
+    assert "timing: RP-MONO:" in capsys.readouterr().err
+
+
+def test_runner_changed_filters_findings_by_git_diff(fake_repo, capsys):
+    subprocess.run(["git", "init", "-q"], cwd=fake_repo, check=True)
+    subprocess.run(["git", "add", "."], cwd=fake_repo, check=True)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", "commit", "-qm", "seed"],
+        cwd=fake_repo,
+        check=True,
+    )
+    # nothing changed since the commit -> the RP-MONO finding is filtered out
+    assert lint_main(["--root", str(fake_repo), "--changed"]) == 0
+    clock = fake_repo / "src" / "repro" / "clock.py"
+    clock.write_text(clock.read_text() + "\n# touched\n")
+    assert lint_main(["--root", str(fake_repo), "--changed"]) == 1
+    out = capsys.readouterr()
+    assert "changed-files filter" in out.err
+    assert "RP-MONO" in out.out
+
+
 # --- the live tree ------------------------------------------------------------
 
 def test_live_tree_is_clean(capsys):
@@ -561,7 +1022,7 @@ def test_live_tree_is_clean(capsys):
 
 def test_registry_ids_are_unique_and_prefixed():
     registry = rule_registry()
-    assert len(registry) >= 9
+    assert len(registry) >= 13
     assert all(rule_id.startswith("RP-") for rule_id in registry)
     rules = default_rules()
     assert len({rule.id for rule in rules}) == len(rules)

@@ -52,3 +52,32 @@ def test_analysis_rule_table_matches_registry():
         f"undocumented rules: {sorted(registry_ids - table_ids)}; "
         f"documented but unregistered: {sorted(table_ids - registry_ids)}"
     )
+
+
+def test_locking_discipline_section_matches_registries():
+    """The architecture page's locking section and the lint registries agree.
+
+    Every ``Class._attr`` token in the "Locking discipline" section must
+    come from GUARDED_BY / LOCK_ORDER, and every registry entry must be
+    documented there — the sanctioned lock order and the guarded-by map
+    cannot drift from what the linter actually enforces.
+    """
+    import re
+
+    from repro.analysis.rules.guards import GUARDED_BY
+    from repro.analysis.rules.lockorder import LOCK_ORDER
+
+    text = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    match = re.search(r"### Locking discipline\n(.*?)(?:\n### |\Z)", text, re.DOTALL)
+    assert match, "docs/architecture.md lost its 'Locking discipline' section"
+    doc_tokens = set(re.findall(r"`([A-Za-z]\w*\._\w+)`", match.group(1)))
+    expected = set()
+    for _suffix, cls, attr, lock_attr in GUARDED_BY:
+        expected.add(f"{cls}.{attr}")
+        expected.add(f"{cls}.{lock_attr}")
+    for outer, inner in LOCK_ORDER:
+        expected.update((outer, inner))
+    assert doc_tokens == expected, (
+        f"documented but not in a registry: {sorted(doc_tokens - expected)}; "
+        f"in a registry but undocumented: {sorted(expected - doc_tokens)}"
+    )
